@@ -1,0 +1,67 @@
+// Ablation A7 — freshness-optimal vs age-optimal schedules (extension in
+// the spirit of the paper's conclusion). The two objectives disagree in a
+// structured way: freshness maximization writes off hopelessly volatile
+// elements entirely (their F can never be high, so the bandwidth is better
+// spent elsewhere), while age minimization never starves anything (the
+// first sync of a long-unsynced copy removes unbounded age).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "model/metrics.h"
+#include "opt/age_water_filling.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+
+namespace {
+
+size_t CountStarved(const std::vector<double>& freqs) {
+  size_t starved = 0;
+  for (double f : freqs) {
+    if (f <= 0.0) ++starved;
+  }
+  return starved;
+}
+
+}  // namespace
+
+int main() {
+  using namespace freshen;
+  std::printf("== Ablation A7: freshness-optimal vs age-optimal ==\n");
+  std::printf("Table 2 setup, shuffled alignment\n\n");
+
+  TableWriter table({"theta", "plan", "perceived freshness", "perceived age",
+                     "starved elements"});
+  for (double theta : {0.0, 0.8, 1.6}) {
+    ExperimentSpec spec = ExperimentSpec::IdealCase();
+    spec.theta = theta;
+    spec.alignment = Alignment::kShuffled;
+    const ElementSet elements = bench::MustCatalog(spec);
+    const CoreProblem problem =
+        MakePerceivedProblem(elements, spec.syncs_per_period, false);
+
+    const Allocation pf_plan =
+        KktWaterFillingSolver().Solve(problem).value();
+    const Allocation age_plan =
+        AgeWaterFillingSolver().Solve(problem).value();
+    for (const auto& [label, plan] :
+         {std::pair<const char*, const Allocation&>{"freshness-optimal",
+                                                    pf_plan},
+          std::pair<const char*, const Allocation&>{"age-optimal",
+                                                    age_plan}}) {
+      table.AddRow({FormatDouble(theta, 1), label,
+                    FormatDouble(
+                        PerceivedFreshness(elements, plan.frequencies), 4),
+                    FormatDouble(PerceivedAge(elements, plan.frequencies), 4),
+                    StrFormat("%zu", CountStarved(plan.frequencies))});
+    }
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "reading: the freshness optimum abandons volatile elements entirely — "
+      "and since every\nelement has nonzero access probability, its "
+      "perceived age is INFINITE. The age\noptimum keeps every copy bounded-"
+      "stale at a modest perceived-freshness cost.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation A9 — per-server (grouped) bandwidth budgets. Real mirrors pull
+// from multiple origin servers under per-host politeness limits; the
+// paper's single pooled budget is the ideal case. This bench measures the
+// perceived-freshness cost of partitioning the same total bandwidth across
+// servers under several split policies:
+//
+//   pooled          : one shared budget (the paper's setting; upper bound);
+//   optimal split   : per-server budgets induced by the pooled optimum
+//                     (equalizes marginal values; provably matches pooled);
+//   by elements     : budget proportional to the server's element count;
+//   by interest     : budget proportional to the server's total access
+//                     probability;
+//   equal           : identical budget per server.
+//
+// Servers are heterogeneous: server 0 hosts the hot head of the Zipf
+// profile, later servers host progressively colder tails.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "model/metrics.h"
+#include "opt/grouped.h"
+#include "opt/water_filling.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace freshen;
+
+constexpr size_t kNumServers = 5;
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation A9: per-server bandwidth budgets ==\n");
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.0;
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet elements = bench::MustCatalog(spec);
+  const double total = spec.syncs_per_period;
+  std::printf(
+      "Table 2 setup; %zu servers host contiguous rank ranges (server 0 = "
+      "hot head)\n\n",
+      kNumServers);
+
+  GroupedProblem problem;
+  problem.base = MakePerceivedProblem(elements, 0.0, false);
+  problem.group.resize(elements.size());
+  std::vector<double> server_interest(kNumServers, 0.0);
+  std::vector<double> server_count(kNumServers, 0.0);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const auto s = static_cast<uint32_t>(i * kNumServers / elements.size());
+    problem.group[i] = s;
+    server_interest[s] += elements[i].access_prob;
+    server_count[s] += 1.0;
+  }
+
+  auto pf_for_split = [&](const std::vector<double>& budgets) {
+    problem.group_budgets = budgets;
+    const auto allocation = SolveGrouped(problem).value();
+    return PerceivedFreshness(elements, allocation.frequencies);
+  };
+  auto proportional = [&](const std::vector<double>& shares) {
+    const double share_total = Sum(shares);
+    std::vector<double> budgets(kNumServers);
+    for (size_t s = 0; s < kNumServers; ++s) {
+      budgets[s] = total * shares[s] / share_total;
+    }
+    return budgets;
+  };
+
+  // PooledOptimalSplit reads the total from the group budgets; seed them
+  // with the equal split.
+  problem.group_budgets.assign(kNumServers, total / kNumServers);
+
+  CoreProblem pooled = problem.base;
+  pooled.bandwidth = total;
+  const double pooled_pf = PerceivedFreshness(
+      elements,
+      KktWaterFillingSolver().Solve(pooled).value().frequencies);
+
+  TableWriter table({"split policy", "perceived freshness", "vs pooled"});
+  auto add = [&](const char* label, double pf) {
+    table.AddRow({label, FormatDouble(pf, 4),
+                  StrFormat("%+.1f%%", 100.0 * (pf / pooled_pf - 1.0))});
+  };
+  add("pooled (paper)", pooled_pf);
+  add("optimal split", pf_for_split(PooledOptimalSplit(problem).value()));
+  add("by interest", pf_for_split(proportional(server_interest)));
+  add("by elements", pf_for_split(proportional(server_count)));
+  add("equal", pf_for_split(proportional(std::vector<double>(kNumServers, 1.0))));
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "reading: the pooled-induced split matches the pooled optimum exactly "
+      "(marginal values\nequalize); interest-proportional splits come close; "
+      "count-proportional and equal splits\nstarve the hot server and pay a "
+      "visible freshness penalty.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Figure 10: optimal distribution of sync resources when object
+// sizes vary. N = 500 objects, uniform access (theta = 0), change rate
+// aligned (object 0 changes fastest) and size aligned (object 0 largest);
+// sizes either all 1.0 (uniform) or Pareto(shape 1.1, mean 1.0).
+//
+// (a) sync *frequency* per object and (b) sync *bandwidth* per object, for
+// the size-aware optimum on both size distributions. Headline numbers from
+// §5.3: scheduling while ignoring sizes yields perceived freshness 0.312 on
+// the Pareto catalog; accounting for sizes yields 0.586.
+//
+// Expected shape, per the paper: all sync resources go to the pages with
+// the LOWEST change rates (the high-rank objects); under Pareto sizes the
+// total number of syncs is much larger (small objects are cheap) while the
+// total bandwidth is identical.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/metrics.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace freshen;
+  std::printf("== Figure 10: optimal sync resource distribution ==\n");
+  std::printf(
+      "N=500, uniform access, change rate aligned, size aligned, B=250\n\n");
+
+  ExperimentSpec base = ExperimentSpec::IdealCase();
+  base.theta = 0.0;
+  base.alignment = Alignment::kAligned;
+  base.size_alignment = SizeAlignment::kAligned;
+
+  ExperimentSpec uniform_spec = base;
+  uniform_spec.size_model = SizeModel::kUniform;
+  ExperimentSpec pareto_spec = base;
+  pareto_spec.size_model = SizeModel::kPareto;
+
+  const ElementSet uniform_catalog = bench::MustCatalog(uniform_spec);
+  const ElementSet pareto_catalog = bench::MustCatalog(pareto_spec);
+
+  PlannerOptions aware;
+  aware.size_aware = true;
+  const FreshenPlan uniform_plan =
+      bench::MustPlan(aware, uniform_catalog, base.syncs_per_period);
+  const FreshenPlan pareto_plan =
+      bench::MustPlan(aware, pareto_catalog, base.syncs_per_period);
+
+  // Panel (a)+(b): per-object frequency and bandwidth, reported over rank
+  // buckets of 25 objects (the paper plots all 500 points; buckets make the
+  // same shape readable as a table).
+  TableWriter table({"objects", "f uniform", "f pareto", "bw uniform",
+                     "bw pareto"});
+  const size_t bucket = 25;
+  for (size_t lo = 0; lo < uniform_catalog.size(); lo += bucket) {
+    const size_t hi = lo + bucket;
+    RunningStats fu;
+    RunningStats fp;
+    RunningStats bu;
+    RunningStats bp;
+    for (size_t i = lo; i < hi; ++i) {
+      fu.Add(uniform_plan.frequencies[i]);
+      fp.Add(pareto_plan.frequencies[i]);
+      bu.Add(uniform_plan.frequencies[i] * uniform_catalog[i].size);
+      bp.Add(pareto_plan.frequencies[i] * pareto_catalog[i].size);
+    }
+    table.AddRow({StrFormat("%zu-%zu", lo, hi - 1),
+                  FormatDouble(fu.Mean(), 3), FormatDouble(fp.Mean(), 3),
+                  FormatDouble(bu.Mean(), 3), FormatDouble(bp.Mean(), 3)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  const double uniform_syncs = Sum(uniform_plan.frequencies);
+  const double pareto_syncs = Sum(pareto_plan.frequencies);
+  std::printf("total syncs/period: uniform %.1f, pareto %.1f (pareto >)\n",
+              uniform_syncs, pareto_syncs);
+  std::printf("total bandwidth:    uniform %.1f, pareto %.1f (equal)\n\n",
+              uniform_plan.bandwidth_used, pareto_plan.bandwidth_used);
+
+  // §5.3 headline: size-blind vs size-aware scheduling on the Pareto
+  // catalog. Two readings of "ignoring object size" (the paper's accounting
+  // is unstated; see EXPERIMENTS.md):
+  //   as-planned : run the blind frequencies directly. If their true spend
+  //                exceeds the budget they are scaled down to fit; if it
+  //                falls short the leftover bandwidth is simply wasted —
+  //                the paper's "suboptimal use of bandwidth".
+  //   re-fitted  : proportionally rescale so the full budget is used (the
+  //                best case for the blind plan; what FreshenPlanner does).
+  PlannerOptions blind;
+  blind.size_aware = false;
+  const FreshenPlan blind_plan =
+      bench::MustPlan(blind, pareto_catalog, base.syncs_per_period);
+  const double as_planned_pf = [&] {
+    // Reconstruct the unscaled blind frequencies: solve with unit costs.
+    const CoreProblem problem =
+        MakePerceivedProblem(pareto_catalog, base.syncs_per_period, false);
+    auto allocation = KktWaterFillingSolver().Solve(problem).value();
+    std::vector<double> freqs = std::move(allocation.frequencies);
+    const double spend = BandwidthUsed(pareto_catalog, freqs);
+    if (spend > base.syncs_per_period) {
+      const double down = base.syncs_per_period / spend;
+      for (double& f : freqs) f *= down;
+    }
+    return PerceivedFreshness(pareto_catalog, freqs);
+  }();
+  std::printf(
+      "perceived freshness on the Pareto catalog:\n"
+      "  ignoring object size (as-planned) : %.3f   (paper: 0.312)\n"
+      "  ignoring object size (re-fitted)  : %.3f\n"
+      "  size-aware                        : %.3f   (paper: 0.586)\n",
+      as_planned_pf, blind_plan.perceived_freshness,
+      pareto_plan.perceived_freshness);
+  std::printf(
+      "paper shape: sync resources concentrate on the lowest-change-rate "
+      "objects; Pareto\nsizes buy many more syncs for the same bandwidth; "
+      "size-aware >> size-blind.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Figure 11: Fixed Bandwidth Allocation (FBA) vs Fixed Frequency
+// Allocation (FFA) for PF/s-partitioning as the number of partitions grows.
+// Setup per the paper: change rate and object size REVERSED against each
+// other (object 0 changes fastest and is smallest — "large objects like
+// images rarely change, small objects like stock quotes change often"),
+// access shuffled, Pareto sizes.
+//
+// Expected shape, per the paper: FBA approaches the good solution with far
+// fewer partitions than FFA, and FBA always wins.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+int main() {
+  using namespace freshen;
+  std::printf("== Figure 11: FBA vs FFA sync allocation ==\n");
+  std::printf(
+      "Table 2 setup, Pareto sizes, change aligned / size reversed, access "
+      "shuffled\n\n");
+
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.0;
+  // "the alignments of change rate and object size are reversed, and access
+  // is shuffled. (object 1 has a high change rate and a low size)":
+  // both change rate and size are rank-assigned, change descending and size
+  // ascending; the *profile* is then shuffled relative to them. Shuffling
+  // the change/size pair jointly against access rank is equivalent.
+  spec.alignment = Alignment::kAligned;
+  spec.size_model = SizeModel::kPareto;
+  spec.size_alignment = SizeAlignment::kReverse;
+  ElementSet elements = bench::MustCatalog(spec);
+  // Shuffle access against the (change, size) pair by shuffling the profile
+  // column deterministically.
+  {
+    std::vector<double> probs = AccessProbs(elements);
+    ArrangeByRank(probs, Alignment::kShuffled, spec.seed + 99);
+    for (size_t i = 0; i < elements.size(); ++i) {
+      elements[i].access_prob = probs[i];
+    }
+  }
+
+  const double best_case = [&] {
+    PlannerOptions options;
+    options.size_aware = true;
+    return bench::MustPlan(options, elements, spec.syncs_per_period)
+        .perceived_freshness;
+  }();
+
+  TableWriter table({"num_partitions", "FIXED BANDWIDTH (FBA)",
+                     "FIXED FREQUENCY (FFA)", "best_case"});
+  for (size_t k : {5u, 10u, 25u, 50u, 75u, 100u, 150u, 200u, 250u}) {
+    std::vector<std::string> row = {StrFormat("%zu", k)};
+    for (AllocationPolicy policy : {AllocationPolicy::kFixedBandwidth,
+                                    AllocationPolicy::kFixedFrequency}) {
+      PlannerOptions options;
+      options.mode = PlanMode::kPartitioned;
+      options.partition_key = PartitionKey::kPerceivedFreshnessSize;
+      options.num_partitions = k;
+      options.allocation_policy = policy;
+      options.size_aware = true;
+      const FreshenPlan plan =
+          bench::MustPlan(options, elements, spec.syncs_per_period);
+      row.push_back(FormatDouble(plan.perceived_freshness, 4));
+    }
+    row.push_back(FormatDouble(best_case, 4));
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "paper shape: FBA approaches a better solution earlier (with fewer "
+      "partitions) than\nFFA, and FBA always outperforms FFA.\n");
+  return 0;
+}

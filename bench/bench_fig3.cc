@@ -1,0 +1,75 @@
+// Reproduces Figure 3 (a-c): the Ideal Case — perceived freshness achieved
+// by the PF technique (ours) vs the GF technique (prior work [5]) as the
+// Zipf interest skew theta sweeps 0..1.6, for the three alignments.
+// Uses Table 2's setup (printed below). Expected shape, per the paper:
+//   * at theta = 0 the two curves coincide;
+//   * PF >= GF everywhere, widening with skew;
+//   * in the ALIGNED case GF's perceived freshness collapses toward 0 at
+//     high skew (it starves exactly the hot, volatile items);
+//   * in the REVERSE case both rise, PF still ahead.
+// Every tenth point is cross-checked in the discrete-event simulator.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace freshen;
+  std::printf("== Figure 3: ideal case, perceived freshness vs Zipf skew ==\n");
+  std::printf(
+      "Table 2 setup: NumObjects=500 NumUpdatesPerPeriod=1000 "
+      "NumSyncsPerPeriod=250 Theta=0.0-1.6 UpdateStdDev=1.0\n\n");
+
+  for (Alignment alignment :
+       {Alignment::kShuffled, Alignment::kAligned, Alignment::kReverse}) {
+    TableWriter table({"theta", "PF_TECHNIQUE", "GF_TECHNIQUE", "PF_sim",
+                       "GF_sim"});
+    for (double theta = 0.0; theta <= 1.601; theta += 0.2) {
+      ExperimentSpec spec = ExperimentSpec::IdealCase();
+      spec.theta = theta;
+      spec.alignment = alignment;
+      const ElementSet elements = bench::MustCatalog(spec);
+
+      PlannerOptions pf_options;
+      pf_options.technique = Technique::kPerceived;
+      PlannerOptions gf_options;
+      gf_options.technique = Technique::kGeneral;
+      const FreshenPlan pf =
+          bench::MustPlan(pf_options, elements, spec.syncs_per_period);
+      const FreshenPlan gf =
+          bench::MustPlan(gf_options, elements, spec.syncs_per_period);
+
+      std::string pf_sim = "-";
+      std::string gf_sim = "-";
+      const bool verify = theta == 0.0 || theta >= 1.59 ||
+                          (theta > 0.79 && theta < 0.81);
+      if (verify && !bench::QuickMode()) {
+        SimulationConfig config;
+        config.horizon_periods = 60.0;
+        config.accesses_per_period = 5000.0;
+        config.warmup_periods = 5.0;
+        MirrorSimulator simulator(elements, config);
+        pf_sim = FormatDouble(simulator.Run(pf.frequencies)
+                                  .value()
+                                  .empirical_perceived_freshness,
+                              4);
+        gf_sim = FormatDouble(simulator.Run(gf.frequencies)
+                                  .value()
+                                  .empirical_perceived_freshness,
+                              4);
+      }
+      table.AddRow({FormatDouble(theta, 1),
+                    FormatDouble(pf.perceived_freshness, 4),
+                    FormatDouble(gf.perceived_freshness, 4), pf_sim, gf_sim});
+    }
+    std::printf("-- Figure 3 (%s) --\n%s\n", ToString(alignment).c_str(),
+                table.ToText().c_str());
+  }
+  std::printf(
+      "paper shape: curves meet at theta=0; PF rises with skew in all "
+      "alignments; GF collapses\ntoward 0 at high skew in the aligned case "
+      "and stays flat/slowly-moving elsewhere.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 5 (a-c): quality of the four partitioning techniques as
+// the number of partitions grows, against the optimal "best_case" line, for
+// the three alignments (Table 2 setup; theta = 1.0, consistent with the
+// big-case Table 3 and unstated in the paper — see EXPERIMENTS.md).
+//
+// Expected shape, per the paper: all techniques approach best_case as
+// partitions increase; under shuffled-change, PF-, P- and P/lambda-
+// partitioning converge quickly while LAMBDA-partitioning lags; under
+// aligned/reverse all four are nearly identical.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+int main() {
+  using namespace freshen;
+  std::printf(
+      "== Figure 5: partitioning techniques vs number of partitions ==\n");
+  std::printf("Table 2 setup, theta = 1.0\n\n");
+
+  const std::vector<size_t> partition_counts = {1,   5,   10,  25,  50, 100,
+                                                150, 200, 300, 400, 500};
+  for (Alignment alignment :
+       {Alignment::kShuffled, Alignment::kAligned, Alignment::kReverse}) {
+    ExperimentSpec spec = ExperimentSpec::IdealCase();
+    spec.theta = 1.0;
+    spec.alignment = alignment;
+    const ElementSet elements = bench::MustCatalog(spec);
+    const double best_case =
+        bench::BestCasePf(elements, spec.syncs_per_period);
+
+    TableWriter table({"num_partitions", "PF_PARTITIONING", "P_PARTITIONING",
+                       "LAMBDA_PARTITIONING", "P_OVER_LAMBDA_PARTITIONING",
+                       "best_case"});
+    for (size_t k : partition_counts) {
+      std::vector<std::string> row = {StrFormat("%zu", k)};
+      for (PartitionKey key : bench::FigurePartitionKeys()) {
+        PlannerOptions options;
+        options.mode = PlanMode::kPartitioned;
+        options.partition_key = key;
+        options.num_partitions = k;
+        const FreshenPlan plan =
+            bench::MustPlan(options, elements, spec.syncs_per_period);
+        row.push_back(FormatDouble(plan.perceived_freshness, 4));
+      }
+      row.push_back(FormatDouble(best_case, 4));
+      table.AddRow(row);
+    }
+    std::printf("-- Figure 5 (%s) --\n%s\n", ToString(alignment).c_str(),
+                table.ToText().c_str());
+  }
+  std::printf(
+      "paper shape: every technique climbs toward best_case with more "
+      "partitions; in the\nshuffled-change panel LAMBDA_PARTITIONING "
+      "converges slowest, the other three fastest.\n");
+  return 0;
+}

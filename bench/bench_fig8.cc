@@ -1,0 +1,78 @@
+// Reproduces Figure 8: improvement in perceived freshness when k-means
+// clustering refines the PF-partitioning start, on the Big Case (Table 3).
+// One series per iteration count {0, 1, 3, 5, 10} against the number of
+// partitions.
+//
+// Expected shape, per the paper: "with very few iterations, significant
+// gains are seen" — the 1-iteration curve already sits well above the
+// 0-iteration curve, with diminishing returns after ~5-10 iterations.
+//
+// Set FRESHEN_QUICK=1 to shrink the workload ~50x.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "model/metrics.h"
+#include "opt/water_filling.h"
+#include "partition/allocation.h"
+#include "partition/kmeans.h"
+#include "partition/transformed.h"
+
+namespace {
+
+using namespace freshen;
+
+// Solves the transformed problem for `partitions` and returns the plan's
+// perceived freshness.
+double EvaluatePartitions(const ElementSet& elements,
+                          const std::vector<Partition>& partitions,
+                          double bandwidth) {
+  const CoreProblem problem =
+      BuildTransformedProblem(partitions, bandwidth, /*size_aware=*/false);
+  const Allocation allocation = KktWaterFillingSolver().Solve(problem).value();
+  const auto frequencies =
+      ExpandAllocation(elements, partitions, allocation.frequencies,
+                       AllocationPolicy::kFixedBandwidth)
+          .value();
+  return PerceivedFreshness(elements, frequencies);
+}
+
+}  // namespace
+
+int main() {
+  const ExperimentSpec spec = bench::BigCaseSpec();
+  std::printf("== Figure 8: perceived freshness after k-means clustering ==\n");
+  std::printf("Table 3 setup (N=%zu)%s\n\n", spec.num_objects,
+              bench::QuickMode() ? "  [FRESHEN_QUICK]" : "");
+
+  const ElementSet elements = bench::MustCatalog(spec);
+  KMeansRefiner refiner(elements, {});
+
+  const std::vector<int> snapshots = {0, 1, 3, 5, 10};
+  TableWriter table({"num_partitions", "0 iterations", "1 iteration",
+                     "3 iterations", "5 iterations", "10 iterations"});
+  for (size_t k = 20; k <= 200; k += 20) {
+    auto partitions =
+        BuildPartitions(elements, PartitionKey::kPerceivedFreshness, k)
+            .value();
+    std::vector<std::string> row = {StrFormat("%zu", k)};
+    int done = 0;
+    for (int target : snapshots) {
+      if (target > done) {
+        partitions = refiner.Refine(partitions, target - done).value();
+        done = target;
+      }
+      row.push_back(FormatDouble(
+          EvaluatePartitions(elements, partitions, spec.syncs_per_period),
+          4));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "paper shape: each extra iteration lifts the whole curve, with the "
+      "biggest jump from\n0 -> 1 iterations and diminishing returns by 10.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared helpers for the figure/table benches: catalog construction from
+// specs, planner shorthands, and uniform series printing.
+#ifndef FRESHEN_BENCH_BENCH_UTIL_H_
+#define FRESHEN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "model/element.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace freshen::bench {
+
+/// True when the FRESHEN_QUICK environment variable is set (non-empty, not
+/// "0"): big-case benches then shrink their workloads ~50x so the whole
+/// suite runs in seconds. Full-size runs are the default.
+inline bool QuickMode() {
+  const char* env = std::getenv("FRESHEN_QUICK");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == 0);
+}
+
+/// Table 3's big case, shrunk when QuickMode().
+inline ExperimentSpec BigCaseSpec() {
+  ExperimentSpec spec = ExperimentSpec::BigCase();
+  if (QuickMode()) {
+    spec.num_objects /= 50;       // 10,000 objects.
+    spec.syncs_per_period /= 50;  // Bandwidth scales with N.
+  }
+  return spec;
+}
+
+/// Builds the catalog for a spec, aborting on invalid specs (benches use
+/// hard-coded known-good parameters).
+inline ElementSet MustCatalog(const ExperimentSpec& spec) {
+  auto catalog = GenerateCatalog(spec);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog generation failed: %s\n",
+                 catalog.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(catalog).value();
+}
+
+/// Plans and returns the plan, aborting on failure.
+inline FreshenPlan MustPlan(const PlannerOptions& options,
+                            const ElementSet& elements, double bandwidth) {
+  auto plan = FreshenPlanner(options).Plan(elements, bandwidth);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(plan).value();
+}
+
+/// Perceived freshness of the optimal (exact) PF plan — the "best_case"
+/// reference line in Figures 5 and 7.
+inline double BestCasePf(const ElementSet& elements, double bandwidth) {
+  PlannerOptions options;
+  options.technique = Technique::kPerceived;
+  options.mode = PlanMode::kExact;
+  return MustPlan(options, elements, bandwidth).perceived_freshness;
+}
+
+/// The four §3.1 partitioning techniques in the order the figures list them.
+inline const std::vector<PartitionKey>& FigurePartitionKeys() {
+  static const std::vector<PartitionKey> keys = {
+      PartitionKey::kPerceivedFreshness,
+      PartitionKey::kAccessProb,
+      PartitionKey::kChangeRate,
+      PartitionKey::kProbOverLambda,
+  };
+  return keys;
+}
+
+}  // namespace freshen::bench
+
+#endif  // FRESHEN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Example: a stock-quote mirror for day traders — the paper's motivating
+// case where user interest ALIGNS with volatility ("volatile stocks might be
+// more interesting to day-traders purely due to their volatility"). This is
+// exactly the configuration where interest-blind freshening collapses:
+// General Freshening starves the volatile symbols everyone is watching.
+//
+//   $ ./build/examples/stock_ticker
+//
+// Builds a 2,000-symbol catalog whose update rates follow a gamma
+// distribution and whose (Zipf) popularity is aligned with volatility,
+// plans with GF and PF, and verifies the gap in the discrete-event
+// simulator.
+#include <cstdio>
+
+#include "freshen/freshen.h"
+
+int main() {
+  using namespace freshen;
+
+  // 1. The symbol universe. Quote pages update as a Poisson process; the
+  //    per-period rates are gamma(mean 4, sigma 3) — a heavy spread from
+  //    sleepy utilities to meme stocks.
+  ExperimentSpec spec;
+  spec.num_objects = 2000;
+  spec.mean_updates_per_object = 4.0;
+  spec.update_stddev = 3.0;
+  spec.theta = 1.2;                      // Trader attention is highly skewed
+  spec.alignment = Alignment::kAligned;  // ...and tracks volatility.
+  spec.syncs_per_period = 1000.0;        // Quota: 1000 quote fetches/period.
+  spec.seed = 42;
+  const ElementSet symbols = GenerateCatalog(spec).value();
+
+  std::printf("stock ticker mirror: %zu symbols, %.0f fetches/period\n",
+              symbols.size(), spec.syncs_per_period);
+
+  // 2. Plan with both techniques.
+  PlannerOptions pf_options;  // Perceived Freshening (profile-aware).
+  PlannerOptions gf_options;
+  gf_options.technique = Technique::kGeneral;
+  const FreshenPlan pf =
+      FreshenPlanner(pf_options).Plan(symbols, spec.syncs_per_period).value();
+  const FreshenPlan gf =
+      FreshenPlanner(gf_options).Plan(symbols, spec.syncs_per_period).value();
+
+  // 3. How the two planners treat the 5 hottest and 5 coldest symbols.
+  std::printf("\nsymbol  volatility  popularity  f_PF     f_GF\n");
+  auto print_symbol = [&](size_t i) {
+    std::printf("%6zu  %10.2f  %10.5f  %6.2f  %6.2f\n", i,
+                symbols[i].change_rate, symbols[i].access_prob,
+                pf.frequencies[i], gf.frequencies[i]);
+  };
+  for (size_t i = 0; i < 5; ++i) print_symbol(i);
+  std::printf("   ...\n");
+  for (size_t i = symbols.size() - 5; i < symbols.size(); ++i) {
+    print_symbol(i);
+  }
+
+  // 4. What traders actually experience (analytic + simulated).
+  SimulationConfig sim_config;
+  sim_config.horizon_periods = 50.0;
+  sim_config.accesses_per_period = 20000.0;
+  sim_config.warmup_periods = 5.0;
+  MirrorSimulator simulator(symbols, sim_config);
+  const SimulationResult pf_sim = simulator.Run(pf.frequencies).value();
+  const SimulationResult gf_sim = simulator.Run(gf.frequencies).value();
+
+  std::printf("\n                         PF plan   GF plan\n");
+  std::printf("perceived freshness     %7.4f   %7.4f   (analytic)\n",
+              pf.perceived_freshness, gf.perceived_freshness);
+  std::printf("perceived freshness     %7.4f   %7.4f   (simulated)\n",
+              pf_sim.empirical_perceived_freshness,
+              gf_sim.empirical_perceived_freshness);
+  std::printf("mean quote age          %7.4f   %7.4f   (simulated, periods)\n",
+              pf_sim.empirical_perceived_age,
+              gf_sim.empirical_perceived_age);
+  std::printf(
+      "\nGeneral Freshening gives the volatile, heavily-watched symbols "
+      "almost no bandwidth\n(they are 'hopeless' for average freshness); "
+      "profile-aware freshening fetches exactly\nthose symbols and the "
+      "perceived freshness multiplies.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "adaptive/adaptive_freshener.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace freshen {
+
+Result<AdaptiveFreshener> AdaptiveFreshener::Create(std::vector<double> sizes,
+                                                    double bandwidth,
+                                                    Options options) {
+  if (sizes.empty()) {
+    return Status::InvalidArgument("controller needs at least one element");
+  }
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (!(sizes[i] > 0.0) || !std::isfinite(sizes[i])) {
+      return Status::InvalidArgument(
+          StrFormat("size %zu must be positive and finite", i));
+    }
+  }
+  if (!(bandwidth > 0.0)) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  if (!(options.replan_every_periods > 0.0)) {
+    return Status::InvalidArgument("replan cadence must be positive");
+  }
+  if (!(options.prior_change_rate > 0.0)) {
+    return Status::InvalidArgument("prior change rate must be positive");
+  }
+  if (options.learner.smoothing <= 0.0) {
+    return Status::InvalidArgument(
+        "learner smoothing must be positive for cold starts");
+  }
+  AdaptiveFreshener controller(std::move(sizes), bandwidth, options);
+  // Install the initial plan from priors.
+  FRESHEN_RETURN_IF_ERROR(
+      controller.MaybeReplan(0.0, /*force=*/true).status());
+  return controller;
+}
+
+AdaptiveFreshener::AdaptiveFreshener(std::vector<double> sizes,
+                                     double bandwidth, Options options)
+    : options_(options),
+      sizes_(std::move(sizes)),
+      bandwidth_(bandwidth),
+      learner_(sizes_.size(), options.learner),
+      polls_(sizes_.size(), 0),
+      changes_(sizes_.size(), 0),
+      watch_time_(sizes_.size(), 0.0),
+      last_sync_time_(sizes_.size(), 0.0),
+      synced_before_(sizes_.size(), 0),
+      frequencies_(sizes_.size(), 0.0) {}
+
+void AdaptiveFreshener::ObserveAccess(size_t element) {
+  learner_.Observe(element);
+}
+
+void AdaptiveFreshener::ObserveSync(size_t element, bool changed,
+                                    double now) {
+  FRESHEN_CHECK(element < sizes_.size());
+  if (synced_before_[element]) {
+    // Only gaps between consecutive syncs carry change evidence.
+    const double gap = now - last_sync_time_[element];
+    if (gap > 0.0) {
+      ++polls_[element];
+      if (changed) ++changes_[element];
+      watch_time_[element] += gap;
+    }
+  }
+  synced_before_[element] = 1;
+  last_sync_time_[element] = now;
+}
+
+void AdaptiveFreshener::EndPeriod() { learner_.EndPeriod(); }
+
+ElementSet AdaptiveFreshener::BelievedCatalog() const {
+  ElementSet catalog(sizes_.size());
+  const auto profile = learner_.Snapshot();
+  FRESHEN_CHECK(profile.ok());  // Smoothing > 0 makes this infallible.
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    catalog[i].access_prob = (*profile)[i];
+    catalog[i].size = sizes_[i];
+    if (polls_[i] == 0) {
+      catalog[i].change_rate = options_.prior_change_rate;
+    } else {
+      // Bias-reduced detector estimate with the mean inter-sync gap as the
+      // effective poll interval (exact for equal gaps; a documented
+      // approximation otherwise).
+      const double n = static_cast<double>(polls_[i]);
+      const double x = static_cast<double>(changes_[i]);
+      const double mean_gap = watch_time_[i] / n;
+      catalog[i].change_rate =
+          -std::log((n - x + 0.5) / (n + 0.5)) / mean_gap;
+    }
+  }
+  return catalog;
+}
+
+Result<bool> AdaptiveFreshener::MaybeReplan(double now, bool force) {
+  if (!force && num_replans_ > 0 &&
+      now - last_plan_time_ < options_.replan_every_periods) {
+    return false;
+  }
+  FRESHEN_ASSIGN_OR_RETURN(
+      FreshenPlan plan,
+      FreshenPlanner(options_.planner).Plan(BelievedCatalog(), bandwidth_));
+  frequencies_ = std::move(plan.frequencies);
+  last_plan_time_ = now;
+  ++num_replans_;
+  return true;
+}
+
+}  // namespace freshen

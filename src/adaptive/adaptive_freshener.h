@@ -1,0 +1,99 @@
+// Closed-loop freshening controller — the deployment story the paper
+// sketches in §7: "gather information on user access-patterns ... through
+// direct feedback from users or from a simple learning algorithm that
+// monitors the system request log", combined with poll-based change-rate
+// estimation ([4]/[6], §2.1) and periodic re-solving of the Core Problem
+// ("for large real-world problems for which the contents of the mirror or
+// the user interests might change, we would need to periodically solve the
+// Core Problem").
+//
+// The controller owns three pieces of evolving state:
+//   * an AccessLogLearner fed by ObserveAccess() (the request log),
+//   * a per-element change detector fed by ObserveSync() (every refresh is
+//     a free poll: did the fetched copy differ?),
+//   * the current plan, re-computed by MaybeReplan() on a fixed cadence
+//     using any FreshenPlanner configuration (exact or partitioned).
+#ifndef FRESHEN_ADAPTIVE_ADAPTIVE_FRESHENER_H_
+#define FRESHEN_ADAPTIVE_ADAPTIVE_FRESHENER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/planner.h"
+#include "model/element.h"
+#include "profile/learner.h"
+
+namespace freshen {
+
+/// Periodically re-planning freshening controller.
+class AdaptiveFreshener {
+ public:
+  struct Options {
+    /// Planner configuration used at every re-plan.
+    PlannerOptions planner;
+    /// Request-log learner configuration (decay, smoothing). Smoothing
+    /// defaults to 1.0 here so a cold-started controller begins from a
+    /// uniform profile instead of failing.
+    AccessLogLearner::Options learner = {.decay = 1.0, .smoothing = 1.0};
+    /// Re-plan cadence, in periods.
+    double replan_every_periods = 1.0;
+    /// Change-rate prior used for elements with no sync evidence yet.
+    double prior_change_rate = 1.0;
+  };
+
+  /// A controller over `sizes.size()` elements with the given per-period
+  /// bandwidth. Starts with a uniform-profile, prior-rate plan.
+  static Result<AdaptiveFreshener> Create(std::vector<double> sizes,
+                                          double bandwidth, Options options);
+
+  /// Records one user access (feeds the profile learner).
+  void ObserveAccess(size_t element);
+
+  /// Records the outcome of one sync of `element` at time `now` (periods):
+  /// `changed` is whether the fetched copy differed from the local one.
+  void ObserveSync(size_t element, bool changed, double now);
+
+  /// Marks a period boundary: applies the learner's decay so old interest
+  /// fades (no-op at decay = 1).
+  void EndPeriod();
+
+  /// Re-plans when the cadence has elapsed since the last plan (or `force`).
+  /// Returns true when a new plan was installed.
+  Result<bool> MaybeReplan(double now, bool force = false);
+
+  /// The current sync frequencies (per period).
+  const std::vector<double>& frequencies() const { return frequencies_; }
+
+  /// The catalog the controller currently believes in (learned profile,
+  /// estimated change rates, configured sizes).
+  ElementSet BelievedCatalog() const;
+
+  /// Number of plans installed so far (including the initial one).
+  uint64_t num_replans() const { return num_replans_; }
+
+ private:
+  AdaptiveFreshener(std::vector<double> sizes, double bandwidth,
+                    Options options);
+
+  Options options_;
+  std::vector<double> sizes_;
+  double bandwidth_;
+  AccessLogLearner learner_;
+
+  // Per-element change evidence: number of observed sync polls, number that
+  // detected a change, and total watched time (sum of inter-sync gaps).
+  std::vector<uint32_t> polls_;
+  std::vector<uint32_t> changes_;
+  std::vector<double> watch_time_;
+  std::vector<double> last_sync_time_;
+  std::vector<uint8_t> synced_before_;
+
+  std::vector<double> frequencies_;
+  double last_plan_time_ = 0.0;
+  uint64_t num_replans_ = 0;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_ADAPTIVE_ADAPTIVE_FRESHENER_H_

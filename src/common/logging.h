@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Benchmarks and the simulator use this to
+// report progress without polluting stdout (which carries result tables).
+#ifndef FRESHEN_COMMON_LOGGING_H_
+#define FRESHEN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace freshen {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction when `level` passes the
+/// threshold. Not for direct use: see the FRESHEN_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace freshen
+
+/// Usage: FRESHEN_LOG(kInfo) << "solved in " << ms << " ms";
+#define FRESHEN_LOG(severity)                                        \
+  ::freshen::internal::LogMessage(::freshen::LogLevel::severity,     \
+                                  __FILE__, __LINE__)                \
+      .stream()
+
+#endif  // FRESHEN_COMMON_LOGGING_H_

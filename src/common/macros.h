@@ -1,0 +1,59 @@
+// Low-level macros shared by every freshen module.
+#ifndef FRESHEN_COMMON_MACROS_H_
+#define FRESHEN_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a branch as unlikely for the optimizer.
+#define FRESHEN_PREDICT_FALSE(x) (__builtin_expect(false || (x), false))
+/// Marks a branch as likely for the optimizer.
+#define FRESHEN_PREDICT_TRUE(x) (__builtin_expect(false || (x), true))
+
+/// Aborts the process with a message when `condition` is false. Active in all
+/// build types: these guard invariants whose violation would silently corrupt
+/// experiment results.
+#define FRESHEN_CHECK(condition)                                              \
+  do {                                                                        \
+    if (FRESHEN_PREDICT_FALSE(!(condition))) {                                \
+      std::fprintf(stderr, "FRESHEN_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+/// Like FRESHEN_CHECK but compiled out of release builds. Use for hot paths.
+#ifdef NDEBUG
+#define FRESHEN_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define FRESHEN_DCHECK(condition) FRESHEN_CHECK(condition)
+#endif
+
+/// Evaluates an expression returning freshen::Status and propagates failure.
+#define FRESHEN_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::freshen::Status _status = (expr);               \
+    if (FRESHEN_PREDICT_FALSE(!_status.ok())) {       \
+      return _status;                                 \
+    }                                                 \
+  } while (false)
+
+/// Evaluates an expression returning freshen::Result<T>, propagating failure
+/// and otherwise moving the value into `lhs`.
+#define FRESHEN_ASSIGN_OR_RETURN(lhs, expr)          \
+  FRESHEN_ASSIGN_OR_RETURN_IMPL(                     \
+      FRESHEN_MACRO_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define FRESHEN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (FRESHEN_PREDICT_FALSE(!tmp.ok())) {             \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define FRESHEN_MACRO_CONCAT_INNER(a, b) a##b
+#define FRESHEN_MACRO_CONCAT(a, b) FRESHEN_MACRO_CONCAT_INNER(a, b)
+
+#endif  // FRESHEN_COMMON_MACROS_H_

@@ -1,0 +1,71 @@
+// Result<T>: value-or-Status, the freshen equivalent of absl::StatusOr /
+// arrow::Result.
+#ifndef FRESHEN_COMMON_RESULT_H_
+#define FRESHEN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace freshen {
+
+/// Holds either a value of type T or a non-OK Status describing why the value
+/// could not be produced. Accessing value() on a failed Result aborts, so
+/// callers must test ok() (or use FRESHEN_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    FRESHEN_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True when a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the failure otherwise.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    FRESHEN_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    FRESHEN_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FRESHEN_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Dereference shorthand for value().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value when ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_COMMON_RESULT_H_

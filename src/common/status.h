@@ -1,0 +1,82 @@
+// Error handling without exceptions, in the style of Arrow/RocksDB status
+// objects. Every fallible freshen API returns Status or Result<T>.
+#ifndef FRESHEN_COMMON_STATUS_H_
+#define FRESHEN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace freshen {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code, e.g.
+/// "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy in the OK case
+/// (no allocation); failure carries a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor (or OK()) for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string message);
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string message);
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string message);
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string message);
+  /// Returns an Unimplemented status with the given message.
+  static Status Unimplemented(std::string message);
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string message);
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The failure category (kOk on success).
+  StatusCode code() const { return code_; }
+  /// The failure message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_COMMON_STATUS_H_

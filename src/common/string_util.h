@@ -1,0 +1,30 @@
+// Small string helpers (GCC 12 lacks std::format, so benches/tables use
+// these snprintf-based formatters).
+#ifndef FRESHEN_COMMON_STRING_UTIL_H_
+#define FRESHEN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace freshen {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,47 @@
+// Aligned plain-text tables and CSV output. Every bench binary prints its
+// paper table/figure series through this so outputs are uniform and easy to
+// diff against the paper.
+#ifndef FRESHEN_COMMON_TABLE_WRITER_H_
+#define FRESHEN_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace freshen {
+
+/// Collects rows of string cells and renders them either as an aligned text
+/// table (for humans) or CSV (for plotting scripts).
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row. The row is padded with empty cells (or truncated) to the
+  /// header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats every value with `precision` decimal digits.
+  void AddNumericRow(const std::vector<double>& values, int precision = 4);
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an aligned text table with a header separator.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted).
+  std::string ToCsv() const;
+
+  /// Writes ToText() to the stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the scalability experiments (Figures 7-9).
+#ifndef FRESHEN_COMMON_TIMER_H_
+#define FRESHEN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace freshen {
+
+/// Measures elapsed wall-clock time from construction (or the last Restart).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_COMMON_TIMER_H_

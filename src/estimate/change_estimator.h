@@ -1,0 +1,62 @@
+// Estimating an element's change frequency from periodic polls — the
+// mechanism the paper assumes supplies lambda to the mirror ("Prior work has
+// shown how the source can use estimation [4] and sampling [6] techniques to
+// obtain a good estimate of these update frequencies").
+//
+// A poll at interval tau only reveals *whether* the element changed since the
+// last poll, not how many times. For a Poisson process with rate lambda the
+// probability a poll detects a change is 1 - e^{-lambda tau}; Cho &
+// Garcia-Molina's bias-reduced estimator from n polls with x detections is
+//
+//   lambda_hat = -log( (n - x + 1/2) / (n + 1/2) ) / tau
+//
+// which stays finite even when every poll saw a change.
+#ifndef FRESHEN_ESTIMATE_CHANGE_ESTIMATOR_H_
+#define FRESHEN_ESTIMATE_CHANGE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace freshen {
+
+/// Accumulates poll outcomes for one element and estimates its change rate.
+class ChangeRateEstimator {
+ public:
+  /// `poll_interval` is the (fixed) time between polls, > 0.
+  explicit ChangeRateEstimator(double poll_interval);
+
+  /// Records one poll outcome: `changed` is whether the element differed
+  /// from the previously fetched copy.
+  void RecordPoll(bool changed);
+
+  /// Number of polls recorded.
+  uint64_t num_polls() const { return polls_; }
+  /// Number of polls that detected a change.
+  uint64_t num_changes() const { return changes_; }
+
+  /// The bias-reduced rate estimate. Fails before the first poll.
+  Result<double> EstimatedRate() const;
+
+ private:
+  double poll_interval_;
+  uint64_t polls_ = 0;
+  uint64_t changes_ = 0;
+};
+
+/// Simulates `num_polls` polls of a Poisson(lambda) element at interval tau
+/// and returns the resulting estimate. Deterministic in `seed`. Used by the
+/// imperfect-knowledge ablation (A3).
+double SimulatePollEstimate(double true_rate, double poll_interval,
+                            uint64_t num_polls, uint64_t seed);
+
+/// Sampling-based change *ratio* of a set of elements (after [6]): polls a
+/// random subset of `sample_size` elements once over `window` time units and
+/// returns the fraction that changed. Deterministic in `seed`.
+double SampleChangeRatio(const std::vector<double>& true_rates,
+                         size_t sample_size, double window, uint64_t seed);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_ESTIMATE_CHANGE_ESTIMATOR_H_

@@ -1,0 +1,46 @@
+// CSV import/export for catalogs, profiles, and plans, so libfreshen can be
+// driven from real operational data (crawler statistics, request-log
+// aggregations) without writing C++. Used by the freshenctl example tool.
+//
+// Catalog CSV format (header required, columns in any order, extras
+// ignored):
+//   change_rate,access_prob[,size]
+// One row per element; `size` defaults to 1.0 when the column is absent.
+// access_prob values are normalized on load, so raw access *counts* work
+// equally well.
+#ifndef FRESHEN_IO_CATALOG_IO_H_
+#define FRESHEN_IO_CATALOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/element.h"
+
+namespace freshen {
+
+/// Parses a catalog from CSV text. See the file comment for the format.
+Result<ElementSet> ParseCatalogCsv(const std::string& text);
+
+/// Loads a catalog from a CSV file.
+Result<ElementSet> LoadCatalogCsv(const std::string& path);
+
+/// Renders a catalog as CSV text (header + one row per element).
+std::string CatalogToCsv(const ElementSet& elements);
+
+/// Writes a catalog to a CSV file.
+Status SaveCatalogCsv(const ElementSet& elements, const std::string& path);
+
+/// Renders a plan as CSV: element,frequency,interval,bandwidth.
+std::string PlanToCsv(const ElementSet& elements,
+                      const std::vector<double>& frequencies);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (overwrites).
+Status WriteStringToFile(const std::string& text, const std::string& path);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_IO_CATALOG_IO_H_

@@ -1,0 +1,102 @@
+#include "mirror/mirror_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "rng/distributions.h"
+
+namespace freshen {
+
+Result<VersionedSource> VersionedSource::Create(
+    std::vector<double> change_rates, uint64_t seed) {
+  if (change_rates.empty()) {
+    return Status::InvalidArgument("source needs at least one element");
+  }
+  for (size_t i = 0; i < change_rates.size(); ++i) {
+    if (!(change_rates[i] >= 0.0) || !std::isfinite(change_rates[i])) {
+      return Status::InvalidArgument(
+          StrFormat("change rate %zu is negative or non-finite", i));
+    }
+  }
+  return VersionedSource(std::move(change_rates), seed);
+}
+
+VersionedSource::VersionedSource(std::vector<double> rates, uint64_t seed)
+    : rates_(std::move(rates)),
+      update_times_(rates_.size()),
+      next_update_(rates_.size(),
+                   std::numeric_limits<double>::infinity()) {
+  Rng root(seed);
+  streams_.reserve(rates_.size());
+  for (size_t i = 0; i < rates_.size(); ++i) {
+    streams_.push_back(root.Fork());
+    if (rates_[i] > 0.0) {
+      next_update_[i] = SampleExponential(streams_[i], rates_[i]);
+    }
+  }
+}
+
+void VersionedSource::AdvanceTo(double t) {
+  FRESHEN_CHECK(t >= now_);
+  for (size_t i = 0; i < rates_.size(); ++i) {
+    while (next_update_[i] <= t) {
+      update_times_[i].push_back(next_update_[i]);
+      ++total_updates_;
+      next_update_[i] += SampleExponential(streams_[i], rates_[i]);
+    }
+  }
+  now_ = t;
+}
+
+uint64_t VersionedSource::Version(size_t element) const {
+  FRESHEN_CHECK(element < rates_.size());
+  return update_times_[element].size();
+}
+
+double VersionedSource::FirstUpdateAfter(size_t element, double after) const {
+  FRESHEN_CHECK(element < rates_.size());
+  const auto& times = update_times_[element];
+  const auto it = std::upper_bound(times.begin(), times.end(), after);
+  if (it == times.end()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return *it;
+}
+
+MirrorState::MirrorState(size_t num_elements)
+    : local_version_(num_elements, 0), last_sync_time_(num_elements, 0.0) {
+  FRESHEN_CHECK(num_elements > 0);
+}
+
+bool MirrorState::Sync(size_t element, double t, VersionedSource& source) {
+  FRESHEN_CHECK(element < local_version_.size());
+  FRESHEN_CHECK(t >= last_sync_time_[element]);
+  source.AdvanceTo(std::max(t, source.Now()));
+  const uint64_t remote = source.Version(element);
+  const bool changed = remote != local_version_[element];
+  local_version_[element] = remote;
+  last_sync_time_[element] = t;
+  ++total_syncs_;
+  return changed;
+}
+
+bool MirrorState::IsFresh(size_t element,
+                          const VersionedSource& source) const {
+  FRESHEN_CHECK(element < local_version_.size());
+  return local_version_[element] == source.Version(element);
+}
+
+double MirrorState::Age(size_t element, double t,
+                        const VersionedSource& source) const {
+  FRESHEN_CHECK(element < local_version_.size());
+  if (IsFresh(element, source)) return 0.0;
+  const double first_missed =
+      source.FirstUpdateAfter(element, last_sync_time_[element]);
+  FRESHEN_DCHECK(std::isfinite(first_missed));
+  return t - first_missed;
+}
+
+}  // namespace freshen

@@ -1,0 +1,107 @@
+// Versioned source and mirror state machines — the operational counterpart
+// of the discrete-event simulator. The simulator (src/sim) batch-processes a
+// whole horizon for evaluation; these classes expose the same semantics as
+// incremental, queryable state so an online controller (src/adaptive) or an
+// application can drive them step by step.
+//
+//   VersionedSource : the master data source. Each element carries a version
+//                     counter advanced by Poisson updates; AdvanceTo(t)
+//                     lazily materializes updates up to time t.
+//   MirrorState     : the local copies. Sync(element, t) pulls the source's
+//                     current version; IsFresh/Staleness answer Definition 1
+//                     queries at any time.
+#ifndef FRESHEN_MIRROR_MIRROR_STATE_H_
+#define FRESHEN_MIRROR_MIRROR_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rng/rng.h"
+
+namespace freshen {
+
+/// The master source: per-element version counters advanced by Poisson
+/// update processes. Deterministic in the seed.
+class VersionedSource {
+ public:
+  /// A source over `change_rates.size()` elements with the given Poisson
+  /// rates (per period). Rates must be >= 0 and finite.
+  static Result<VersionedSource> Create(std::vector<double> change_rates,
+                                        uint64_t seed);
+
+  /// Advances simulated time to `t` (>= current time), materializing any
+  /// pending updates.
+  void AdvanceTo(double t);
+
+  /// Current version of `element` (0 = initial). Requires element in range
+  /// and that time has been advanced at least to the queried moment.
+  uint64_t Version(size_t element) const;
+
+  /// Time of the earliest update of `element` strictly after `after`, or
+  /// +infinity if none has been materialized yet (call AdvanceTo first) or
+  /// the element never changes. Used for age accounting.
+  double FirstUpdateAfter(size_t element, double after) const;
+
+  /// Total updates materialized so far across all elements.
+  uint64_t TotalUpdates() const { return total_updates_; }
+
+  /// Current simulated time.
+  double Now() const { return now_; }
+
+  /// Number of elements.
+  size_t size() const { return rates_.size(); }
+
+ private:
+  VersionedSource(std::vector<double> rates, uint64_t seed);
+
+  std::vector<double> rates_;
+  // Per-element materialized update history (times, ascending). Kept whole:
+  // experiments run bounded horizons, and FirstUpdateAfter needs history.
+  std::vector<std::vector<double>> update_times_;
+  std::vector<double> next_update_;
+  std::vector<Rng> streams_;
+  double now_ = 0.0;
+  uint64_t total_updates_ = 0;
+};
+
+/// The mirror's local copies: last-synced version per element.
+class MirrorState {
+ public:
+  /// A mirror over `num_elements` copies, all initially version 0 (in sync
+  /// with a fresh source).
+  explicit MirrorState(size_t num_elements);
+
+  /// Refreshes `element` from the source at time `t` (the source is advanced
+  /// to `t` first). Returns true when the fetched copy differed from the
+  /// local one — exactly the poll signal the change estimator consumes.
+  bool Sync(size_t element, double t, VersionedSource& source);
+
+  /// Definition 1: is the local copy identical to the source right now?
+  /// The source must already be advanced to the query time.
+  bool IsFresh(size_t element, const VersionedSource& source) const;
+
+  /// Age of the local copy at time `t`: 0 when fresh, else the time since
+  /// the first source update the mirror has not picked up.
+  double Age(size_t element, double t, const VersionedSource& source) const;
+
+  /// Time `element` was last synced (0 before any sync).
+  double LastSyncTime(size_t element) const {
+    return last_sync_time_[element];
+  }
+
+  /// Total syncs executed.
+  uint64_t TotalSyncs() const { return total_syncs_; }
+
+  /// Number of elements.
+  size_t size() const { return local_version_.size(); }
+
+ private:
+  std::vector<uint64_t> local_version_;
+  std::vector<double> last_sync_time_;
+  uint64_t total_syncs_ = 0;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_MIRROR_MIRROR_STATE_H_

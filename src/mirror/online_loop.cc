@@ -1,0 +1,147 @@
+#include "mirror/online_loop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "profile/profile.h"
+#include "rng/distributions.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+// One scheduled operation inside a period.
+struct LoopEvent {
+  double time;
+  bool is_sync;  // Syncs sort before accesses at equal times.
+  uint32_t element;
+};
+
+}  // namespace
+
+Result<OnlineFreshenLoop> OnlineFreshenLoop::Create(ElementSet truth,
+                                                    double bandwidth,
+                                                    Options options) {
+  if (truth.empty()) {
+    return Status::InvalidArgument("truth catalog is empty");
+  }
+  if (!(options.accesses_per_period >= 0.0)) {
+    return Status::InvalidArgument("accesses_per_period must be >= 0");
+  }
+  FRESHEN_ASSIGN_OR_RETURN(
+      VersionedSource source,
+      VersionedSource::Create(ChangeRates(truth), options.seed ^ 0x737263ULL));
+  FRESHEN_ASSIGN_OR_RETURN(
+      AdaptiveFreshener controller,
+      AdaptiveFreshener::Create(Sizes(truth), bandwidth, options.controller));
+  return OnlineFreshenLoop(std::move(truth), std::move(source),
+                           std::move(controller), options);
+}
+
+OnlineFreshenLoop::OnlineFreshenLoop(ElementSet truth, VersionedSource source,
+                                     AdaptiveFreshener controller,
+                                     Options options)
+    : truth_(std::move(truth)),
+      options_(options),
+      source_(std::move(source)),
+      mirror_(truth_.size()),
+      controller_(
+          std::make_unique<AdaptiveFreshener>(std::move(controller))),
+      access_table_(std::make_unique<AliasTable>(AccessProbs(truth_))),
+      access_rng_(options.seed ^ 0x616363ULL) {}
+
+Status OnlineFreshenLoop::SetTrueProfile(const std::vector<double>& weights) {
+  if (weights.size() != truth_.size()) {
+    return Status::InvalidArgument("profile length mismatch");
+  }
+  FRESHEN_ASSIGN_OR_RETURN(std::vector<double> probs,
+                           NormalizeProbabilities(weights));
+  for (size_t i = 0; i < truth_.size(); ++i) {
+    truth_[i].access_prob = probs[i];
+  }
+  access_table_ = std::make_unique<AliasTable>(probs);
+  return Status::OK();
+}
+
+PeriodStats OnlineFreshenLoop::RunPeriod() {
+  const double period_start = now_;
+  const double period_end = now_ + 1.0;
+  std::vector<LoopEvent> events;
+
+  // Due syncs: each element fires at interval 1/f from its last sync (or
+  // from the period start if it has never been synced).
+  const std::vector<double>& freqs = controller_->frequencies();
+  for (size_t i = 0; i < truth_.size(); ++i) {
+    const double f = freqs[i];
+    if (f <= 0.0) continue;
+    const double interval = 1.0 / f;
+    double t = mirror_.LastSyncTime(i) > 0.0
+                   ? mirror_.LastSyncTime(i) + interval
+                   : period_start +
+                         interval * (static_cast<double>(i) /
+                                     static_cast<double>(truth_.size()));
+    for (; t < period_end; t += interval) {
+      if (t >= period_start) {
+        events.push_back({t, true, static_cast<uint32_t>(i)});
+      }
+    }
+  }
+
+  // This period's accesses: Poisson arrivals from the true profile.
+  if (options_.accesses_per_period > 0.0) {
+    for (double t = period_start + SampleExponential(
+                                       access_rng_,
+                                       options_.accesses_per_period);
+         t < period_end;
+         t += SampleExponential(access_rng_, options_.accesses_per_period)) {
+      events.push_back(
+          {t, false,
+           static_cast<uint32_t>(access_table_->Sample(access_rng_))});
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const LoopEvent& a, const LoopEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.is_sync && !b.is_sync;
+            });
+
+  PeriodStats stats;
+  uint64_t fresh_accesses = 0;
+  KahanSum age_sum;
+  for (const LoopEvent& event : events) {
+    if (event.is_sync) {
+      const bool changed = mirror_.Sync(event.element, event.time, source_);
+      controller_->ObserveSync(event.element, changed, event.time);
+      ++stats.syncs;
+      stats.bandwidth_spent += truth_[event.element].size;
+    } else {
+      source_.AdvanceTo(event.time);
+      controller_->ObserveAccess(event.element);
+      ++stats.accesses;
+      if (mirror_.IsFresh(event.element, source_)) {
+        ++fresh_accesses;
+      } else {
+        age_sum.Add(mirror_.Age(event.element, event.time, source_));
+      }
+    }
+  }
+  source_.AdvanceTo(period_end);
+  now_ = period_end;
+
+  if (stats.accesses > 0) {
+    stats.perceived_freshness = static_cast<double>(fresh_accesses) /
+                                static_cast<double>(stats.accesses);
+    stats.mean_access_age =
+        age_sum.Total() / static_cast<double>(stats.accesses);
+  }
+
+  controller_->EndPeriod();
+  auto replanned = controller_->MaybeReplan(now_);
+  FRESHEN_CHECK(replanned.ok());
+  stats.replanned = *replanned;
+  return stats;
+}
+
+}  // namespace freshen

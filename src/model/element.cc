@@ -1,0 +1,42 @@
+#include "model/element.h"
+
+#include "common/macros.h"
+
+namespace freshen {
+
+std::vector<double> ChangeRates(const ElementSet& elements) {
+  std::vector<double> out;
+  out.reserve(elements.size());
+  for (const Element& e : elements) out.push_back(e.change_rate);
+  return out;
+}
+
+std::vector<double> AccessProbs(const ElementSet& elements) {
+  std::vector<double> out;
+  out.reserve(elements.size());
+  for (const Element& e : elements) out.push_back(e.access_prob);
+  return out;
+}
+
+std::vector<double> Sizes(const ElementSet& elements) {
+  std::vector<double> out;
+  out.reserve(elements.size());
+  for (const Element& e : elements) out.push_back(e.size);
+  return out;
+}
+
+ElementSet MakeElementSet(const std::vector<double>& change_rates,
+                          const std::vector<double>& access_probs,
+                          const std::vector<double>& sizes) {
+  FRESHEN_CHECK(change_rates.size() == access_probs.size());
+  FRESHEN_CHECK(sizes.empty() || sizes.size() == change_rates.size());
+  ElementSet elements(change_rates.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    elements[i].change_rate = change_rates[i];
+    elements[i].access_prob = access_probs[i];
+    elements[i].size = sizes.empty() ? 1.0 : sizes[i];
+  }
+  return elements;
+}
+
+}  // namespace freshen

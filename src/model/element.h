@@ -1,0 +1,43 @@
+// The element model: each mirrored object has a Poisson change rate (lambda),
+// an access probability from the master profile (p), and a size (s).
+#ifndef FRESHEN_MODEL_ELEMENT_H_
+#define FRESHEN_MODEL_ELEMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace freshen {
+
+/// One local copy in the mirror. Plain data: rates are per sync period, the
+/// access probability is the element's share of the master profile, size is
+/// in bandwidth units (1.0 = one unit of sync bandwidth per refresh).
+struct Element {
+  /// Poisson update rate at the source, in updates per period. >= 0.
+  double change_rate = 0.0;
+  /// Probability that a user access targets this element. In [0, 1].
+  double access_prob = 0.0;
+  /// Object size in bandwidth units; a refresh costs `size` bandwidth.
+  double size = 1.0;
+};
+
+/// The mirror's catalog: all elements, indexed by element id (vector index).
+using ElementSet = std::vector<Element>;
+
+/// Extracts the change-rate column.
+std::vector<double> ChangeRates(const ElementSet& elements);
+
+/// Extracts the access-probability column.
+std::vector<double> AccessProbs(const ElementSet& elements);
+
+/// Extracts the size column.
+std::vector<double> Sizes(const ElementSet& elements);
+
+/// Builds an ElementSet from parallel columns. `sizes` may be empty, meaning
+/// all sizes are 1.0. Column lengths must agree.
+ElementSet MakeElementSet(const std::vector<double>& change_rates,
+                          const std::vector<double>& access_probs,
+                          const std::vector<double>& sizes = {});
+
+}  // namespace freshen
+
+#endif  // FRESHEN_MODEL_ELEMENT_H_

@@ -1,0 +1,161 @@
+#include "model/freshness.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace freshen {
+
+double FixedOrderFreshness(double f, double lambda) {
+  FRESHEN_DCHECK(f >= 0.0);
+  FRESHEN_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 1.0;  // Never updated: always fresh.
+  if (f <= 0.0) return 0.0;       // Never synced: stale almost surely.
+  const double r = lambda / f;
+  // (1 - e^{-r}) / r, stable at tiny r via expm1.
+  return -std::expm1(-r) / r;
+}
+
+double FixedOrderFreshnessDerivative(double f, double lambda) {
+  FRESHEN_DCHECK(f >= 0.0);
+  FRESHEN_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0.0;
+  if (f <= 0.0) return 1.0 / lambda;  // Limit of g(r)/lambda as r -> inf.
+  return MarginalGainG(lambda / f) / lambda;
+}
+
+double PoissonSyncFreshness(double f, double lambda) {
+  FRESHEN_DCHECK(f >= 0.0);
+  FRESHEN_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 1.0;
+  if (f <= 0.0) return 0.0;
+  return f / (f + lambda);
+}
+
+double PolicyFreshness(SyncPolicy policy, double f, double lambda) {
+  switch (policy) {
+    case SyncPolicy::kFixedOrder:
+      return FixedOrderFreshness(f, lambda);
+    case SyncPolicy::kPoisson:
+      return PoissonSyncFreshness(f, lambda);
+  }
+  return 0.0;
+}
+
+double MarginalGainG(double r) {
+  FRESHEN_DCHECK(r >= 0.0);
+  if (r < 1e-4) {
+    // Series: g(r) = r^2/2 - r^3/3 + r^4/8 - r^5/30 + O(r^6). The direct
+    // form cancels catastrophically here (both terms ~ r).
+    return r * r *
+           (0.5 + r * (-1.0 / 3.0 + r * (0.125 - r / 30.0)));
+  }
+  return -std::expm1(-r) - r * std::exp(-r);
+}
+
+double MarginalGainGPrime(double r) {
+  FRESHEN_DCHECK(r >= 0.0);
+  return r * std::exp(-r);
+}
+
+double InverseMarginalGainG(double y) {
+  FRESHEN_CHECK(y > 0.0 && y < 1.0);
+  // Solve g(r) = y via the equivalent, well-conditioned equation
+  //   h(r) = log(1 + r) - r - log(1 - y) = 0
+  // (g(r) = 1 - (1+r) e^{-r}, so 1-y = (1+r) e^{-r}). h is strictly
+  // decreasing with h'(r) = -r/(1+r), bounded away from 0 once r > 0.
+  const double target = std::log1p(-y);  // log(1 - y), negative.
+  // Initial guess: small-y regime r ~ sqrt(2y); large-y regime
+  // r ~ -log(1-y) + log(1+r), iterated once.
+  double r = y < 0.5 ? std::sqrt(2.0 * y) : -target + std::log1p(-target);
+  double lo = 0.0;
+  double hi = 750.0;  // g(750) == 1 to double precision.
+  for (int iter = 0; iter < 100; ++iter) {
+    const double h = std::log1p(r) - r - target;
+    if (h > 0.0) {
+      lo = r;  // h decreasing: root is to the right.
+    } else {
+      hi = r;
+    }
+    const double hprime = -r / (1.0 + r);
+    double next = (hprime != 0.0) ? r - h / hprime : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - r) <= 1e-14 * (1.0 + r)) {
+      r = next;
+      break;
+    }
+    r = next;
+  }
+  return r;
+}
+
+double FixedOrderAge(double f, double lambda) {
+  FRESHEN_DCHECK(f >= 0.0);
+  FRESHEN_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0.0;  // Never stale.
+  if (f <= 0.0) return std::numeric_limits<double>::infinity();
+  const double interval = 1.0 / f;
+  const double x = lambda * interval;
+  double a;  // A = interval * a(x).
+  if (x < 0.01) {
+    // a(x) = x/6 - x^2/24 + x^3/120 - x^4/720 + x^5/5040 - x^6/40320.
+    a = x * (1.0 / 6.0 +
+             x * (-1.0 / 24.0 +
+                  x * (1.0 / 120.0 +
+                       x * (-1.0 / 720.0 +
+                            x * (1.0 / 5040.0 - x / 40320.0)))));
+  } else {
+    // a(x) = (x^2/2 - x + 1 - e^{-x}) / x^2, with the numerator written so
+    // the leading cancellations (terms ~x collapsing to ~x^3/6) cost at
+    // most ~eps/x^2 relative error — negligible for x >= 0.01.
+    a = (0.5 * x * x - x - std::expm1(-x)) / (x * x);
+  }
+  return interval * a;
+}
+
+double AgeMarginalKernelH(double r) {
+  FRESHEN_DCHECK(r >= 0.0);
+  if (r < 1e-3) {
+    // Series: h(r) = r^3/3 - r^4/8 + r^5/30 - r^6/144 + O(r^7). The direct
+    // form cancels to zero precision here (h ~ r^3 against terms ~ 1).
+    return r * r * r *
+           (1.0 / 3.0 + r * (-0.125 + r * (1.0 / 30.0 - r / 144.0)));
+  }
+  return 0.5 * r * r - MarginalGainG(r);
+}
+
+double AgeMarginalKernelHPrime(double r) {
+  FRESHEN_DCHECK(r >= 0.0);
+  return r * (-std::expm1(-r));
+}
+
+double InverseAgeMarginalKernelH(double y) {
+  FRESHEN_CHECK(y > 0.0);
+  // Initial guess from the asymptotics: h ~ r^3/3 for small y and
+  // h ~ r^2/2 - 1 for large y.
+  double r = y < 0.3 ? std::cbrt(3.0 * y) : std::sqrt(2.0 * (y + 1.0));
+  double lo = 0.0;
+  double hi = 1e160;  // h(1e160) overflows toward inf; bisection shrinks it.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double value = AgeMarginalKernelH(r) - y;
+    if (value > 0.0) {
+      hi = r;
+    } else {
+      lo = r;
+    }
+    const double slope = AgeMarginalKernelHPrime(r);
+    double next = slope > 0.0 ? r - value / slope : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) {
+      next = hi < 1e159 ? 0.5 * (lo + hi) : 2.0 * r;
+    }
+    if (std::fabs(next - r) <= 1e-14 * (1.0 + r)) {
+      r = next;
+      break;
+    }
+    r = next;
+  }
+  return r;
+}
+
+}  // namespace freshen

@@ -1,0 +1,78 @@
+// Closed-form time-averaged freshness of a Poisson-updated element under the
+// synchronization policies of Cho & Garcia-Molina (SIGMOD 2000), which the
+// paper builds on. The Fixed Order policy is the one every freshen scheduler
+// uses; the others exist for the policy ablation (bench_ablation_policy).
+//
+// Let lambda be the element's Poisson update rate and f its synchronization
+// frequency (both per unit time), and r = lambda / f.
+//
+//   Fixed Order  : F(f, lambda) = (1 - e^{-r}) / r       (regular interval 1/f)
+//   Poisson sync : F(f, lambda) = f / (f + lambda)       (memoryless intervals)
+//
+// F is strictly increasing and strictly concave in f, with
+//   dF/df = g(r) / lambda,   g(r) = 1 - e^{-r} - r e^{-r},
+// g strictly increasing from g(0)=0 to g(inf)=1. The optimizer inverts g.
+#ifndef FRESHEN_MODEL_FRESHNESS_H_
+#define FRESHEN_MODEL_FRESHNESS_H_
+
+namespace freshen {
+
+/// Synchronization-order policies with known closed forms.
+enum class SyncPolicy {
+  /// All elements re-synced at fixed, regular intervals (paper default; shown
+  /// best in [5]).
+  kFixedOrder,
+  /// Sync instants form a Poisson process of rate f (memoryless).
+  kPoisson,
+};
+
+/// Time-averaged freshness of one element under Fixed Order sync.
+/// f >= 0, lambda >= 0. F(0, lambda) = 0 for lambda > 0; F(f, 0) = 1.
+double FixedOrderFreshness(double f, double lambda);
+
+/// Partial derivative dF/df of FixedOrderFreshness w.r.t. f. Marginal value
+/// of one extra unit of sync frequency. At f -> 0+ this tends to 1/lambda
+/// (finite!), which is why optimal schedules can starve elements entirely.
+double FixedOrderFreshnessDerivative(double f, double lambda);
+
+/// Time-averaged freshness under Poisson-scheduled sync: f / (f + lambda).
+double PoissonSyncFreshness(double f, double lambda);
+
+/// Dispatches on policy.
+double PolicyFreshness(SyncPolicy policy, double f, double lambda);
+
+/// g(r) = 1 - e^{-r} - r e^{-r}: the marginal-gain kernel. Strictly
+/// increasing on [0, inf), range [0, 1). Evaluated stably for tiny r.
+double MarginalGainG(double r);
+
+/// Derivative g'(r) = r e^{-r}.
+double MarginalGainGPrime(double r);
+
+/// Inverse of g on (0, 1): returns r with g(r) = y. Newton iteration with a
+/// bisection safeguard; |g(result) - y| <= 1e-12. Requires 0 < y < 1.
+double InverseMarginalGainG(double y);
+
+/// Time-averaged *age* of an element under Fixed Order sync with interval
+/// I = 1/f (an extension metric; the paper's conclusion points at richer
+/// quality measures). Age at time t is t - t_first_update_since_sync when the
+/// copy is stale, else 0. Closed form:
+///   A(f, lambda) = I/2 - 1/lambda + (1 - e^{-lambda I}) / (lambda^2 I).
+double FixedOrderAge(double f, double lambda);
+
+/// The age-marginal kernel h(r) = r^2/2 - g(r) = r^2/2 - 1 + (1+r) e^{-r}:
+/// the marginal age reduction per unit of frequency is
+///   -dA/df = h(lambda/f) / lambda^2.
+/// h is strictly increasing from h(0) = 0 and UNBOUNDED (~ r^2/2 - 1), which
+/// is why age-optimal schedules never starve an element: the marginal value
+/// of the first sync of a never-synced element is infinite.
+double AgeMarginalKernelH(double r);
+
+/// Derivative h'(r) = r (1 - e^{-r}).
+double AgeMarginalKernelHPrime(double r);
+
+/// Inverse of h on (0, inf): returns r with h(r) = y. Requires y > 0.
+double InverseAgeMarginalKernelH(double y);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_MODEL_FRESHNESS_H_

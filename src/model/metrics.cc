@@ -1,0 +1,62 @@
+#include "model/metrics.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+
+double PerceivedFreshness(const ElementSet& elements,
+                          const std::vector<double>& frequencies,
+                          SyncPolicy policy) {
+  FRESHEN_CHECK(elements.size() == frequencies.size());
+  KahanSum acc;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    acc.Add(elements[i].access_prob *
+            PolicyFreshness(policy, frequencies[i], elements[i].change_rate));
+  }
+  return acc.Total();
+}
+
+double GeneralFreshness(const ElementSet& elements,
+                        const std::vector<double>& frequencies,
+                        SyncPolicy policy) {
+  FRESHEN_CHECK(elements.size() == frequencies.size());
+  if (elements.empty()) return 0.0;
+  KahanSum acc;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    acc.Add(PolicyFreshness(policy, frequencies[i], elements[i].change_rate));
+  }
+  return acc.Total() / static_cast<double>(elements.size());
+}
+
+double PerceivedAge(const ElementSet& elements,
+                    const std::vector<double>& frequencies) {
+  FRESHEN_CHECK(elements.size() == frequencies.size());
+  KahanSum acc;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (elements[i].access_prob <= 0.0) continue;
+    const double age = FixedOrderAge(frequencies[i], elements[i].change_rate);
+    if (std::isinf(age)) {
+      // An accessed element that is never synced: its age grows without
+      // bound, so the schedule's perceived age is infinite. (Compensated
+      // summation would turn inf into NaN.)
+      return age;
+    }
+    acc.Add(elements[i].access_prob * age);
+  }
+  return acc.Total();
+}
+
+double BandwidthUsed(const ElementSet& elements,
+                     const std::vector<double>& frequencies) {
+  FRESHEN_CHECK(elements.size() == frequencies.size());
+  KahanSum acc;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    acc.Add(elements[i].size * frequencies[i]);
+  }
+  return acc.Total();
+}
+
+}  // namespace freshen

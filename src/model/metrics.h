@@ -1,0 +1,38 @@
+// Analytic evaluation of freshness metrics for a synchronization schedule
+// (a per-element frequency vector). These implement Definitions 2-4 of the
+// paper in their time-averaged, closed-form versions.
+#ifndef FRESHEN_MODEL_METRICS_H_
+#define FRESHEN_MODEL_METRICS_H_
+
+#include <vector>
+
+#include "model/element.h"
+#include "model/freshness.h"
+
+namespace freshen {
+
+/// Time-averaged *perceived* freshness of a schedule: sum_i p_i F(f_i, l_i).
+/// This is the paper's objective (Definition 4 combined with the theorem
+/// PF = sum p_i * F_i). `frequencies` must match `elements` in length.
+double PerceivedFreshness(const ElementSet& elements,
+                          const std::vector<double>& frequencies,
+                          SyncPolicy policy = SyncPolicy::kFixedOrder);
+
+/// Time-averaged *general* freshness (Definition 2, the metric of [5]):
+/// (1/N) sum_i F(f_i, l_i). Ignores the profile.
+double GeneralFreshness(const ElementSet& elements,
+                        const std::vector<double>& frequencies,
+                        SyncPolicy policy = SyncPolicy::kFixedOrder);
+
+/// Time-averaged perceived age: sum_i p_i A(f_i, l_i). Infinite when any
+/// accessed element is never synced. Extension metric.
+double PerceivedAge(const ElementSet& elements,
+                    const std::vector<double>& frequencies);
+
+/// Total bandwidth a schedule consumes per period: sum_i s_i f_i.
+double BandwidthUsed(const ElementSet& elements,
+                     const std::vector<double>& frequencies);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_MODEL_METRICS_H_

@@ -1,0 +1,114 @@
+#include "opt/age_water_filling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "model/freshness.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+// Frequency at multiplier mu, where target_scale = c_i * l_i^2 / w_i.
+double FrequencyAt(double mu, double target_scale, double lambda) {
+  const double y = std::max(mu * target_scale, 1e-300);
+  return lambda / InverseAgeMarginalKernelH(y);
+}
+
+}  // namespace
+
+Result<Allocation> AgeWaterFillingSolver::Solve(
+    const CoreProblem& problem) const {
+  FRESHEN_RETURN_IF_ERROR(problem.Validate());
+  WallTimer timer;
+
+  const size_t n = problem.size();
+  Allocation out;
+  out.frequencies.assign(n, 0.0);
+
+  std::vector<size_t> active;
+  active.reserve(n);
+  std::vector<double> target_scale(n, 0.0);  // c l^2 / w per active element.
+  for (size_t i = 0; i < n; ++i) {
+    if (problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0) {
+      active.push_back(i);
+      target_scale[i] = problem.costs[i] * problem.change_rates[i] *
+                        problem.change_rates[i] / problem.weights[i];
+    }
+  }
+
+  auto weighted_age = [&](const std::vector<double>& freqs) {
+    KahanSum acc;
+    for (size_t i = 0; i < n; ++i) {
+      if (problem.weights[i] <= 0.0) continue;
+      acc.Add(problem.weights[i] *
+              FixedOrderAge(freqs[i], problem.change_rates[i]));
+    }
+    return acc.Total();
+  };
+
+  if (active.empty()) {
+    out.objective = weighted_age(out.frequencies);
+    out.solve_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  auto spend_at = [&](double mu) {
+    KahanSum acc;
+    for (size_t i : active) {
+      acc.Add(problem.costs[i] *
+              FrequencyAt(mu, target_scale[i], problem.change_rates[i]));
+    }
+    return acc.Total();
+  };
+
+  // spend(mu) decreases from +inf (mu -> 0) to 0 (mu -> inf): unlike the
+  // freshness problem there is no finite mu_max, so bracket upward first.
+  double hi = 1.0;
+  while (spend_at(hi) > problem.bandwidth) {
+    hi *= 4.0;
+    FRESHEN_CHECK(hi < 1e300);
+  }
+  double lo = hi * 0.25;
+  while (spend_at(lo) <= problem.bandwidth) {
+    hi = lo;
+    lo *= 0.25;
+    FRESHEN_CHECK(lo > 0.0);
+  }
+
+  // Bisect until the multiplier interval collapses (see the matching
+  // comment in water_filling.cc: the spend alone does not pin mu).
+  double mu = std::sqrt(lo * hi);
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    mu = 0.5 * (lo + hi);
+    if (spend_at(mu) > problem.bandwidth) {
+      lo = mu;
+    } else {
+      hi = mu;
+    }
+    if ((hi - lo) <= 1e-15 * hi) break;
+  }
+  mu = 0.5 * (lo + hi);
+  for (size_t i : active) {
+    out.frequencies[i] =
+        FrequencyAt(mu, target_scale[i], problem.change_rates[i]);
+  }
+  const double spend = problem.Spend(out.frequencies);
+  if (spend > 0.0) {
+    const double scale = problem.bandwidth / spend;
+    for (double& f : out.frequencies) f *= scale;
+  }
+
+  out.multiplier = mu;
+  out.iterations = iterations;
+  out.objective = weighted_age(out.frequencies);
+  out.bandwidth_used = problem.Spend(out.frequencies);
+  out.converged = true;
+  out.solve_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace freshen

@@ -1,0 +1,101 @@
+#include "opt/grouped.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "opt/water_filling.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+
+Status GroupedProblem::Validate() const {
+  FRESHEN_RETURN_IF_ERROR([&] {
+    // Column validation without the (ignored) bandwidth: borrow the base
+    // validator by substituting a placeholder positive budget.
+    CoreProblem probe = base;
+    probe.bandwidth = 1.0;
+    return probe.Validate();
+  }());
+  if (group.size() != base.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu group ids for %zu elements", group.size(),
+                  base.size()));
+  }
+  if (group_budgets.empty()) {
+    return Status::InvalidArgument("no groups");
+  }
+  for (size_t s = 0; s < group_budgets.size(); ++s) {
+    if (!(group_budgets[s] >= 0.0) || !std::isfinite(group_budgets[s])) {
+      return Status::InvalidArgument(
+          StrFormat("group %zu budget must be >= 0 and finite", s));
+    }
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (group[i] >= group_budgets.size()) {
+      return Status::InvalidArgument(
+          StrFormat("element %zu has out-of-range group %u", i, group[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<GroupedAllocation> SolveGrouped(const GroupedProblem& problem) {
+  FRESHEN_RETURN_IF_ERROR(problem.Validate());
+  const size_t n = problem.base.size();
+  const size_t num_groups = problem.group_budgets.size();
+
+  GroupedAllocation out;
+  out.frequencies.assign(n, 0.0);
+  out.group_multipliers.assign(num_groups, 0.0);
+  out.group_spend.assign(num_groups, 0.0);
+
+  // Member lists per group.
+  std::vector<std::vector<size_t>> members(num_groups);
+  for (size_t i = 0; i < n; ++i) {
+    members[problem.group[i]].push_back(i);
+  }
+
+  KktWaterFillingSolver solver;
+  for (size_t s = 0; s < num_groups; ++s) {
+    if (members[s].empty() || problem.group_budgets[s] <= 0.0) continue;
+    CoreProblem sub;
+    sub.bandwidth = problem.group_budgets[s];
+    sub.weights.reserve(members[s].size());
+    for (size_t i : members[s]) {
+      sub.weights.push_back(problem.base.weights[i]);
+      sub.change_rates.push_back(problem.base.change_rates[i]);
+      sub.costs.push_back(problem.base.costs[i]);
+    }
+    FRESHEN_ASSIGN_OR_RETURN(Allocation allocation, solver.Solve(sub));
+    for (size_t j = 0; j < members[s].size(); ++j) {
+      out.frequencies[members[s][j]] = allocation.frequencies[j];
+    }
+    out.group_multipliers[s] = allocation.multiplier;
+    out.group_spend[s] = allocation.bandwidth_used;
+  }
+
+  // Objective over the full element set (covers empty/zero-budget groups).
+  CoreProblem whole = problem.base;
+  whole.bandwidth = 1.0;  // Unused by Objective.
+  out.objective = whole.Objective(out.frequencies);
+  return out;
+}
+
+Result<std::vector<double>> PooledOptimalSplit(const GroupedProblem& problem) {
+  FRESHEN_RETURN_IF_ERROR(problem.Validate());
+  CoreProblem pooled = problem.base;
+  pooled.bandwidth = Sum(problem.group_budgets);
+  if (!(pooled.bandwidth > 0.0)) {
+    return Status::InvalidArgument("total bandwidth must be positive");
+  }
+  FRESHEN_ASSIGN_OR_RETURN(Allocation allocation,
+                           KktWaterFillingSolver().Solve(pooled));
+  std::vector<double> split(problem.group_budgets.size(), 0.0);
+  for (size_t i = 0; i < problem.base.size(); ++i) {
+    split[problem.group[i]] +=
+        problem.base.costs[i] * allocation.frequencies[i];
+  }
+  return split;
+}
+
+}  // namespace freshen

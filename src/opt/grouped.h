@@ -1,0 +1,69 @@
+// Grouped (multi-source) bandwidth constraints — an extension past the
+// paper's single shared budget. A mirror pulling from several origin
+// servers typically faces a *per-server* politeness limit rather than one
+// pooled budget:
+//
+//   maximize   sum_i w_i F(f_i, lambda_i)
+//   subject to sum_{i in group s} c_i f_i = B_s   for each server s,
+//              f_i >= 0.
+//
+// The program separates across groups, so each group is an independent
+// Core Problem solved exactly. The pooled problem (one budget sum_s B_s)
+// always weakly dominates any fixed split; the split induced by the pooled
+// optimum (spend per group at the shared multiplier) is the best possible
+// one and equalizes the groups' marginal values — both facts are tested,
+// and bench_ablation_multisource measures what naive splits lose.
+#ifndef FRESHEN_OPT_GROUPED_H_
+#define FRESHEN_OPT_GROUPED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "opt/problem.h"
+#include "opt/solution.h"
+
+namespace freshen {
+
+/// A Core Problem whose elements belong to origin servers with individual
+/// bandwidth budgets. `base.bandwidth` is ignored; the effective total is
+/// the sum of group budgets.
+struct GroupedProblem {
+  /// The element columns (weights, change rates, costs).
+  CoreProblem base;
+  /// Group (server) id per element, in [0, group_budgets.size()).
+  std::vector<uint32_t> group;
+  /// Per-group bandwidth budget (> 0 each).
+  std::vector<double> group_budgets;
+
+  /// Validates shape and ranges.
+  Status Validate() const;
+};
+
+/// Result of a grouped solve.
+struct GroupedAllocation {
+  /// Sync frequency per element.
+  std::vector<double> frequencies;
+  /// Objective value at the solution.
+  double objective = 0.0;
+  /// Per-group Lagrange multiplier (marginal objective value of one extra
+  /// unit of that group's bandwidth). Groups with a higher multiplier are
+  /// the bandwidth-starved ones.
+  std::vector<double> group_multipliers;
+  /// Per-group bandwidth actually spent (== the group budget, to roundoff,
+  /// whenever the group has anything worth syncing).
+  std::vector<double> group_spend;
+};
+
+/// Solves each group's Core Problem exactly and assembles the result.
+Result<GroupedAllocation> SolveGrouped(const GroupedProblem& problem);
+
+/// The pooled-optimal budget split: solves the pooled problem (one budget =
+/// sum of group budgets) and returns each group's spend under the shared
+/// multiplier. Feeding this split back into SolveGrouped reproduces the
+/// pooled optimum — it is the best achievable per-server split.
+Result<std::vector<double>> PooledOptimalSplit(const GroupedProblem& problem);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_OPT_GROUPED_H_

@@ -1,0 +1,85 @@
+#include "opt/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "model/freshness.h"
+
+namespace freshen {
+
+std::string KktReport::ToString() const {
+  return StrFormat(
+      "KKT{stationarity=%.3e complementarity=%.3e budget=%.3e satisfied=%s}",
+      max_stationarity_violation, max_complementarity_violation,
+      budget_violation, satisfied ? "yes" : "no");
+}
+
+KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
+                    double tolerance) {
+  FRESHEN_CHECK(allocation.frequencies.size() == problem.size());
+  KktReport report;
+
+  // Marginal per unit of bandwidth for element i at its current frequency.
+  auto marginal = [&](size_t i) {
+    return problem.weights[i] *
+           FixedOrderFreshnessDerivative(allocation.frequencies[i],
+                                         problem.change_rates[i]) /
+           problem.costs[i];
+  };
+
+  double mu = allocation.multiplier;
+  if (mu <= 0.0) {
+    // Infer a multiplier from the allocated elements.
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < problem.size(); ++i) {
+      if (allocation.frequencies[i] > 0.0 && problem.weights[i] > 0.0 &&
+          problem.change_rates[i] > 0.0) {
+        sum += marginal(i);
+        ++count;
+      }
+    }
+    if (count == 0) {
+      report.budget_violation =
+          std::fabs(problem.Spend(allocation.frequencies) -
+                    problem.bandwidth) /
+          problem.bandwidth;
+      // No allocated elements: satisfied iff no element wanted bandwidth.
+      report.satisfied = true;
+      for (size_t i = 0; i < problem.size(); ++i) {
+        if (problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0) {
+          report.satisfied = false;
+        }
+      }
+      return report;
+    }
+    mu = sum / static_cast<double>(count);
+  }
+
+  for (size_t i = 0; i < problem.size(); ++i) {
+    if (problem.weights[i] <= 0.0 || problem.change_rates[i] <= 0.0) continue;
+    if (allocation.frequencies[i] > 0.0) {
+      const double violation = std::fabs(marginal(i) - mu) / mu;
+      report.max_stationarity_violation =
+          std::max(report.max_stationarity_violation, violation);
+    } else {
+      // Marginal at f = 0+ is w/(c*l); it must not exceed mu.
+      const double at_zero = problem.weights[i] /
+                             (problem.costs[i] * problem.change_rates[i]);
+      const double excess = (at_zero - mu) / mu;
+      report.max_complementarity_violation =
+          std::max(report.max_complementarity_violation, excess);
+    }
+  }
+  report.budget_violation =
+      std::fabs(problem.Spend(allocation.frequencies) - problem.bandwidth) /
+      problem.bandwidth;
+  report.satisfied = report.max_stationarity_violation <= tolerance &&
+                     report.max_complementarity_violation <= tolerance &&
+                     report.budget_violation <= tolerance;
+  return report;
+}
+
+}  // namespace freshen

@@ -1,0 +1,39 @@
+// KKT-condition verification for Core Problem solutions. Used by tests and
+// by benches to certify that "optimal" lines really are optimal.
+#ifndef FRESHEN_OPT_KKT_H_
+#define FRESHEN_OPT_KKT_H_
+
+#include <string>
+
+#include "opt/problem.h"
+#include "opt/solution.h"
+
+namespace freshen {
+
+/// Outcome of checking an allocation against the KKT conditions.
+struct KktReport {
+  /// Largest relative deviation of w_i F'(f_i)/c_i from the multiplier over
+  /// elements with f_i > 0.
+  double max_stationarity_violation = 0.0;
+  /// Largest relative excess of the zero-allocation marginal w_i/(c_i l_i)
+  /// over the multiplier (elements with f_i = 0 whose marginal says they
+  /// should receive bandwidth).
+  double max_complementarity_violation = 0.0;
+  /// Relative budget mismatch |spend - B| / B.
+  double budget_violation = 0.0;
+  /// True when every violation is within the tolerance passed to VerifyKkt.
+  bool satisfied = false;
+
+  /// Human-readable summary.
+  std::string ToString() const;
+};
+
+/// Checks `allocation` (using its stored multiplier; when the multiplier is
+/// 0 — e.g. from the generic solver — a consistent one is inferred from the
+/// allocated elements' average marginal). `tolerance` is relative.
+KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
+                    double tolerance = 1e-6);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_OPT_KKT_H_

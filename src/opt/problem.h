@@ -1,0 +1,57 @@
+// The Core Problem (paper §2.1) in its general weighted form:
+//
+//   maximize   sum_i  w_i * F(f_i, lambda_i)
+//   subject to sum_i  c_i * f_i = B,   f_i >= 0
+//
+// Instances:
+//   * Perceived Freshening (PF): w_i = p_i, c_i = 1 (or s_i with sizes, §5).
+//   * General Freshening (GF, the baseline from [5]): w_i = 1/N.
+//   * The Transformed Problem (§3.2): one entry per partition with
+//     w_j = n_j * mean(p), lambda_j = mean(lambda), c_j = n_j * mean(s).
+#ifndef FRESHEN_OPT_PROBLEM_H_
+#define FRESHEN_OPT_PROBLEM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "model/element.h"
+
+namespace freshen {
+
+/// A weighted core problem instance. All vectors have equal length.
+struct CoreProblem {
+  /// Objective weights (w_i >= 0). Zero-weight elements never get bandwidth.
+  std::vector<double> weights;
+  /// Poisson change rates (lambda_i >= 0).
+  std::vector<double> change_rates;
+  /// Bandwidth cost per unit of sync frequency (c_i > 0).
+  std::vector<double> costs;
+  /// Total bandwidth per period (B > 0).
+  double bandwidth = 0.0;
+
+  /// Number of variables.
+  size_t size() const { return weights.size(); }
+
+  /// Validates shape and ranges; returns a descriptive error on failure.
+  Status Validate() const;
+
+  /// Objective value of a frequency vector (no feasibility check).
+  double Objective(const std::vector<double>& frequencies) const;
+
+  /// Constraint left-hand side: sum_i c_i f_i.
+  double Spend(const std::vector<double>& frequencies) const;
+};
+
+/// Builds the PF instance: weights from the profile; costs from sizes when
+/// `size_aware`, else 1. `bandwidth` must be > 0.
+CoreProblem MakePerceivedProblem(const ElementSet& elements, double bandwidth,
+                                 bool size_aware = false);
+
+/// Builds the GF (prior-work baseline) instance: uniform weights 1/N.
+CoreProblem MakeGeneralProblem(const ElementSet& elements, double bandwidth,
+                               bool size_aware = false);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_OPT_PROBLEM_H_

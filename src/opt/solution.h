@@ -1,0 +1,31 @@
+// Solver output shared by every Core Problem solver.
+#ifndef FRESHEN_OPT_SOLUTION_H_
+#define FRESHEN_OPT_SOLUTION_H_
+
+#include <vector>
+
+namespace freshen {
+
+/// A bandwidth allocation: synchronization frequencies plus diagnostics.
+struct Allocation {
+  /// Sync frequency per element (same order as the problem's columns).
+  std::vector<double> frequencies;
+  /// The Lagrange multiplier at the solution (marginal objective value of one
+  /// extra unit of bandwidth). 0 when the solver does not compute one.
+  double multiplier = 0.0;
+  /// Objective value sum_i w_i F(f_i, lambda_i) at the solution.
+  double objective = 0.0;
+  /// Constraint value sum_i c_i f_i actually spent.
+  double bandwidth_used = 0.0;
+  /// Outer iterations the solver performed.
+  int iterations = 0;
+  /// Wall-clock seconds spent solving.
+  double solve_seconds = 0.0;
+  /// True when the solver met its convergence criterion (the generic NLP
+  /// solver can exhaust its budget first; the KKT solver always converges).
+  bool converged = true;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_OPT_SOLUTION_H_

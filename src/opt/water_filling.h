@@ -1,0 +1,51 @@
+// Exact solver for the Core Problem via its KKT conditions (the paper's
+// Appendix, "method of Lagrange multipliers", made scalable).
+//
+// The objective is separable and strictly concave in each f_i, so at the
+// optimum there is a single multiplier mu with
+//
+//   w_i * dF/df(f_i, l_i) = mu * c_i          when f_i > 0
+//   w_i / (c_i * l_i)    <= mu                when f_i = 0
+//
+// Substituting dF/df = g(l/f)/l gives g(r_i) = mu * c_i * l_i / w_i, so
+// f_i(mu) = l_i / g^{-1}(mu c_i l_i / w_i) — strictly decreasing in mu.
+// Total spend(mu) is therefore strictly decreasing, and the budget-matching
+// mu is found by bisection. Cost: O(N log(1/eps)) — this is the "solution
+// for small cases" of the paper made exact at any scale, standing in for the
+// IMSL nonlinear-programming package (see DESIGN.md substitutions).
+#ifndef FRESHEN_OPT_WATER_FILLING_H_
+#define FRESHEN_OPT_WATER_FILLING_H_
+
+#include "common/result.h"
+#include "opt/problem.h"
+#include "opt/solution.h"
+
+namespace freshen {
+
+/// Exact KKT solver.
+class KktWaterFillingSolver {
+ public:
+  struct Options {
+    /// Hard cap on bisection iterations (the search otherwise runs until
+    /// the multiplier interval collapses to machine precision; any budget
+    /// residual is removed exactly by a final proportional rescale).
+    int max_iterations = 400;
+  };
+
+  KktWaterFillingSolver() = default;
+  explicit KktWaterFillingSolver(Options options) : options_(options) {}
+
+  /// Solves the problem. Fails on invalid input; always converges otherwise.
+  /// The returned frequencies satisfy the budget exactly (to roundoff): the
+  /// multiplier search's residual slack is handed to the element at the
+  /// funding cutoff (whose marginal equals the multiplier, so stationarity
+  /// is preserved) or, absent one, removed by a proportional rescale.
+  Result<Allocation> Solve(const CoreProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_OPT_WATER_FILLING_H_

@@ -1,0 +1,67 @@
+#include "partition/allocation.h"
+
+#include "common/string_util.h"
+
+namespace freshen {
+
+std::string ToString(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kFixedFrequency:
+      return "FFA";
+    case AllocationPolicy::kFixedBandwidth:
+      return "FBA";
+  }
+  return "UNKNOWN";
+}
+
+Result<std::vector<double>> ExpandAllocation(
+    const ElementSet& elements, const std::vector<Partition>& partitions,
+    const std::vector<double>& partition_frequencies,
+    AllocationPolicy policy) {
+  if (partition_frequencies.size() != partitions.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu partition frequencies for %zu partitions",
+                  partition_frequencies.size(), partitions.size()));
+  }
+  std::vector<double> frequencies(elements.size(), 0.0);
+  std::vector<bool> seen(elements.size(), false);
+  for (size_t j = 0; j < partitions.size(); ++j) {
+    const Partition& part = partitions[j];
+    const double f_j = partition_frequencies[j];
+    if (!(f_j >= 0.0)) {
+      return Status::InvalidArgument(
+          StrFormat("partition %zu frequency is negative", j));
+    }
+    // Bandwidth assigned to each member under FBA: the representative's
+    // per-element spend s̄_j * f_j.
+    const double member_bandwidth = part.rep_size * f_j;
+    for (size_t i : part.members) {
+      if (i >= elements.size() || seen[i]) {
+        return Status::InvalidArgument(StrFormat(
+            "partition %zu member %zu is out of range or duplicated", j, i));
+      }
+      seen[i] = true;
+      switch (policy) {
+        case AllocationPolicy::kFixedFrequency:
+          frequencies[i] = f_j;
+          break;
+        case AllocationPolicy::kFixedBandwidth:
+          if (elements[i].size <= 0.0) {
+            return Status::InvalidArgument(
+                StrFormat("element %zu has non-positive size", i));
+          }
+          frequencies[i] = member_bandwidth / elements[i].size;
+          break;
+      }
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      return Status::InvalidArgument(
+          StrFormat("element %zu belongs to no partition", i));
+    }
+  }
+  return frequencies;
+}
+
+}  // namespace freshen

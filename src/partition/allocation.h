@@ -1,0 +1,44 @@
+// Expanding a per-partition solution back to per-element synchronization
+// frequencies. With equal sizes the two policies coincide; with variable
+// sizes they differ (§5.3):
+//
+//   FFA (Fixed Frequency Allocation): every member of partition j gets the
+//       partition's frequency f_j. Simple, but large members then consume a
+//       disproportionate share of bandwidth.
+//   FBA (Fixed Bandwidth Allocation): every member gets the same *bandwidth*
+//       b_j = s̄_j * f_j, hence frequency b_j / s_i — smaller objects are
+//       refreshed more often. The paper shows FBA always beats FFA.
+#ifndef FRESHEN_PARTITION_ALLOCATION_H_
+#define FRESHEN_PARTITION_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/element.h"
+#include "partition/partitioner.h"
+
+namespace freshen {
+
+/// Intra-partition bandwidth allocation policies (§5.3).
+enum class AllocationPolicy {
+  kFixedFrequency,  // FFA.
+  kFixedBandwidth,  // FBA.
+};
+
+/// Returns "FFA" or "FBA".
+std::string ToString(AllocationPolicy policy);
+
+/// Expands per-partition frequencies to per-element frequencies.
+/// `partition_frequencies` must have one entry per partition. Both policies
+/// preserve each partition's total bandwidth n_j * s̄_j * f_j exactly; they
+/// differ in how that bandwidth splits across members of unequal size (FFA
+/// lets big objects eat a disproportionate share, FBA equalizes it).
+Result<std::vector<double>> ExpandAllocation(
+    const ElementSet& elements, const std::vector<Partition>& partitions,
+    const std::vector<double>& partition_frequencies,
+    AllocationPolicy policy);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_PARTITION_ALLOCATION_H_

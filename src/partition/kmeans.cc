@@ -1,0 +1,158 @@
+#include "partition/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace freshen {
+
+KMeansRefiner::KMeansRefiner(const ElementSet& elements, Options options)
+    : elements_(elements) {
+  const size_t n = elements.size();
+  px_.resize(n);
+  lx_.resize(n);
+  double max_l = 0.0;
+  double sum_l = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    max_l = std::max(max_l, elements[i].change_rate);
+    sum_l += elements[i].change_rate;
+  }
+  double l_scale = 1.0;
+  switch (options.lambda_normalization) {
+    case LambdaNormalization::kSumToOne:
+      if (sum_l > 0.0) l_scale = 1.0 / sum_l;
+      break;
+    case LambdaNormalization::kMaxToOne:
+      if (max_l > 0.0) l_scale = 1.0 / max_l;
+      break;
+    case LambdaNormalization::kNone:
+      break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    px_[i] = elements[i].access_prob;
+    lx_[i] = elements[i].change_rate * l_scale;
+  }
+}
+
+Result<std::vector<Partition>> KMeansRefiner::Refine(
+    const std::vector<Partition>& initial, int iterations) const {
+  if (initial.empty()) {
+    return Status::InvalidArgument("no initial partitions");
+  }
+  if (iterations < 0) {
+    return Status::InvalidArgument("iterations must be >= 0");
+  }
+  const size_t n = elements_.size();
+
+  // Current assignment: element -> cluster.
+  std::vector<uint32_t> assignment(n, UINT32_MAX);
+  for (size_t j = 0; j < initial.size(); ++j) {
+    for (size_t i : initial[j].members) {
+      if (i >= n || assignment[i] != UINT32_MAX) {
+        return Status::InvalidArgument(StrFormat(
+            "partition %zu member %zu out of range or duplicated", j, i));
+      }
+      assignment[i] = static_cast<uint32_t>(j);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (assignment[i] == UINT32_MAX) {
+      return Status::InvalidArgument(
+          StrFormat("element %zu belongs to no partition", i));
+    }
+  }
+
+  size_t k = initial.size();
+  std::vector<double> cx(k), cy(k);
+  std::vector<size_t> counts(k);
+
+  auto recompute_centroids = [&]() {
+    std::fill(cx.begin(), cx.end(), 0.0);
+    std::fill(cy.begin(), cy.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t j = assignment[i];
+      cx[j] += px_[i];
+      cy[j] += lx_[i];
+      ++counts[j];
+    }
+    // Drop empty clusters by compacting ids.
+    std::vector<uint32_t> remap(k, UINT32_MAX);
+    size_t next = 0;
+    for (size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) continue;
+      remap[j] = static_cast<uint32_t>(next);
+      cx[next] = cx[j] / static_cast<double>(counts[j]);
+      cy[next] = cy[j] / static_cast<double>(counts[j]);
+      counts[next] = counts[j];
+      ++next;
+    }
+    if (next != k) {
+      for (size_t i = 0; i < n; ++i) assignment[i] = remap[assignment[i]];
+      k = next;
+      cx.resize(k);
+      cy.resize(k);
+      counts.resize(k);
+    }
+  };
+
+  recompute_centroids();
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool moved = false;
+    for (size_t i = 0; i < n; ++i) {
+      const double x = px_[i];
+      const double y = lx_[i];
+      uint32_t best = assignment[i];
+      double best_d2 = (x - cx[best]) * (x - cx[best]) +
+                       (y - cy[best]) * (y - cy[best]);
+      for (uint32_t j = 0; j < k; ++j) {
+        const double dx = x - cx[j];
+        const double dy = y - cy[j];
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = j;
+        }
+      }
+      if (best != assignment[i]) {
+        assignment[i] = best;
+        moved = true;
+      }
+    }
+    recompute_centroids();
+    if (!moved) break;  // Converged.
+  }
+
+  std::vector<Partition> refined(k);
+  for (size_t i = 0; i < n; ++i) refined[assignment[i]].members.push_back(i);
+  for (Partition& part : refined) {
+    RecomputeRepresentative(elements_, part);
+  }
+  return refined;
+}
+
+double KMeansRefiner::Distortion(
+    const std::vector<Partition>& partitions) const {
+  double total = 0.0;
+  for (const Partition& part : partitions) {
+    if (part.members.empty()) continue;
+    double mx = 0.0;
+    double my = 0.0;
+    for (size_t i : part.members) {
+      mx += px_[i];
+      my += lx_[i];
+    }
+    mx /= static_cast<double>(part.members.size());
+    my /= static_cast<double>(part.members.size());
+    for (size_t i : part.members) {
+      const double dx = px_[i] - mx;
+      const double dy = lx_[i] - my;
+      total += dx * dx + dy * dy;
+    }
+  }
+  return total;
+}
+
+}  // namespace freshen

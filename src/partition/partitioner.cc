@@ -1,0 +1,111 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+#include "model/freshness.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+
+std::string ToString(PartitionKey key) {
+  switch (key) {
+    case PartitionKey::kAccessProb:
+      return "P_PARTITIONING";
+    case PartitionKey::kChangeRate:
+      return "LAMBDA_PARTITIONING";
+    case PartitionKey::kProbOverLambda:
+      return "P_OVER_LAMBDA_PARTITIONING";
+    case PartitionKey::kPerceivedFreshness:
+      return "PF_PARTITIONING";
+    case PartitionKey::kPerceivedFreshnessSize:
+      return "PF_OVER_S_PARTITIONING";
+    case PartitionKey::kSize:
+      return "SIZE_PARTITIONING";
+  }
+  return "UNKNOWN_PARTITIONING";
+}
+
+double PartitionSortKey(PartitionKey key, const Element& element) {
+  switch (key) {
+    case PartitionKey::kAccessProb:
+      return element.access_prob;
+    case PartitionKey::kChangeRate:
+      return element.change_rate;
+    case PartitionKey::kProbOverLambda:
+      // Guard lambda = 0: such an element is maximally attractive per unit
+      // of bandwidth "cost"; an infinite key simply sorts it to the edge.
+      return element.change_rate > 0.0
+                 ? element.access_prob / element.change_rate
+                 : (element.access_prob > 0.0 ? 1e308 : 0.0);
+    case PartitionKey::kPerceivedFreshness:
+      return element.access_prob *
+             FixedOrderFreshness(kPfKeyFrequency, element.change_rate);
+    case PartitionKey::kPerceivedFreshnessSize:
+      // One unit of bandwidth buys only 1/s syncs of an object of size s.
+      FRESHEN_DCHECK(element.size > 0.0);
+      return element.access_prob *
+             FixedOrderFreshness(kPfKeyFrequency / element.size,
+                                 element.change_rate);
+    case PartitionKey::kSize:
+      return element.size;
+  }
+  return 0.0;
+}
+
+void RecomputeRepresentative(const ElementSet& elements,
+                             Partition& partition) {
+  FRESHEN_CHECK(!partition.members.empty());
+  KahanSum p_sum;
+  KahanSum l_sum;
+  KahanSum s_sum;
+  for (size_t i : partition.members) {
+    p_sum.Add(elements[i].access_prob);
+    l_sum.Add(elements[i].change_rate);
+    s_sum.Add(elements[i].size);
+  }
+  const double inv = 1.0 / static_cast<double>(partition.members.size());
+  partition.rep_access_prob = p_sum.Total() * inv;
+  partition.rep_change_rate = l_sum.Total() * inv;
+  partition.rep_size = s_sum.Total() * inv;
+}
+
+Result<std::vector<Partition>> BuildPartitions(const ElementSet& elements,
+                                               PartitionKey key,
+                                               size_t num_partitions) {
+  if (elements.empty()) {
+    return Status::InvalidArgument("cannot partition an empty element set");
+  }
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  const size_t n = elements.size();
+  const size_t k = std::min(num_partitions, n);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = PartitionSortKey(key, elements[i]);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+
+  // Cut into k contiguous runs; the first (n % k) runs get one extra member
+  // so sizes differ by at most one.
+  std::vector<Partition> partitions(k);
+  const size_t base = n / k;
+  const size_t extra = n % k;
+  size_t cursor = 0;
+  for (size_t j = 0; j < k; ++j) {
+    const size_t count = base + (j < extra ? 1 : 0);
+    partitions[j].members.assign(order.begin() + cursor,
+                                 order.begin() + cursor + count);
+    cursor += count;
+    RecomputeRepresentative(elements, partitions[j]);
+  }
+  FRESHEN_CHECK(cursor == n);
+  return partitions;
+}
+
+}  // namespace freshen

@@ -1,0 +1,26 @@
+#include "partition/transformed.h"
+
+#include "common/macros.h"
+
+namespace freshen {
+
+CoreProblem BuildTransformedProblem(const std::vector<Partition>& partitions,
+                                    double bandwidth, bool size_aware) {
+  CoreProblem problem;
+  const size_t k = partitions.size();
+  problem.weights.resize(k);
+  problem.change_rates.resize(k);
+  problem.costs.resize(k);
+  problem.bandwidth = bandwidth;
+  for (size_t j = 0; j < k; ++j) {
+    const auto& part = partitions[j];
+    FRESHEN_CHECK(!part.members.empty());
+    const double count = static_cast<double>(part.members.size());
+    problem.weights[j] = count * part.rep_access_prob;
+    problem.change_rates[j] = part.rep_change_rate;
+    problem.costs[j] = count * (size_aware ? part.rep_size : 1.0);
+  }
+  return problem;
+}
+
+}  // namespace freshen

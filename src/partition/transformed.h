@@ -1,0 +1,26 @@
+// Step 2 of the scaling heuristics (§3.2): the Transformed Problem. Each
+// partition j with n_j members is treated as n_j identical copies of its
+// representative, so the K-variable problem
+//
+//   maximize   sum_j  n_j * p_j * F(f_j, l_j)
+//   subject to sum_j  n_j * s_j * f_j = B
+//
+// is a Core Problem with weights n_j p_j and costs n_j s_j.
+#ifndef FRESHEN_PARTITION_TRANSFORMED_H_
+#define FRESHEN_PARTITION_TRANSFORMED_H_
+
+#include <vector>
+
+#include "opt/problem.h"
+#include "partition/partitioner.h"
+
+namespace freshen {
+
+/// Builds the K-variable transformed Core Problem from partitions.
+/// `size_aware` selects the §5 constraint (costs scaled by mean size).
+CoreProblem BuildTransformedProblem(const std::vector<Partition>& partitions,
+                                    double bandwidth, bool size_aware);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_PARTITION_TRANSFORMED_H_

@@ -1,0 +1,76 @@
+#include "profile/profile.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+
+Result<std::vector<double>> NormalizeProbabilities(
+    std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("weight vector is empty");
+  }
+  KahanSum total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] >= 0.0) || !std::isfinite(weights[i])) {
+      return Status::InvalidArgument(
+          StrFormat("weight %zu is negative or non-finite", i));
+    }
+    total.Add(weights[i]);
+  }
+  if (total.Total() <= 0.0) {
+    return Status::InvalidArgument("all weights are zero");
+  }
+  const double inv = 1.0 / total.Total();
+  for (double& w : weights) w *= inv;
+  return weights;
+}
+
+Result<UserProfile> UserProfile::FromWeights(std::vector<double> weights) {
+  auto normalized = NormalizeProbabilities(std::move(weights));
+  if (!normalized.ok()) return normalized.status();
+  return UserProfile(std::move(normalized).value());
+}
+
+Result<UserProfile> UserProfile::FromAccessCounts(
+    const std::vector<size_t>& counts) {
+  std::vector<double> weights(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    weights[i] = static_cast<double>(counts[i]);
+  }
+  return FromWeights(std::move(weights));
+}
+
+Result<std::vector<double>> AggregateProfiles(
+    const std::vector<UserProfile>& profiles,
+    const std::vector<double>& user_weights) {
+  if (profiles.empty()) {
+    return Status::InvalidArgument("no profiles to aggregate");
+  }
+  if (!user_weights.empty() && user_weights.size() != profiles.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "got %zu user weights for %zu profiles", user_weights.size(),
+        profiles.size()));
+  }
+  const size_t n = profiles[0].size();
+  std::vector<double> master(n, 0.0);
+  for (size_t u = 0; u < profiles.size(); ++u) {
+    if (profiles[u].size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("profile %zu covers %zu elements, expected %zu", u,
+                    profiles[u].size(), n));
+    }
+    const double w = user_weights.empty() ? 1.0 : user_weights[u];
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          StrFormat("user weight %zu is negative or non-finite", u));
+    }
+    const auto& probs = profiles[u].probabilities();
+    for (size_t i = 0; i < n; ++i) master[i] += w * probs[i];
+  }
+  return NormalizeProbabilities(std::move(master));
+}
+
+}  // namespace freshen

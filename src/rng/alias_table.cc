@@ -1,0 +1,63 @@
+#include "rng/alias_table.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace freshen {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  FRESHEN_CHECK(n > 0);
+  FRESHEN_CHECK(n <= UINT32_MAX);
+  double total = 0.0;
+  for (double w : weights) {
+    FRESHEN_CHECK(w >= 0.0 && std::isfinite(w));
+    total += w;
+  }
+  FRESHEN_CHECK(total > 0.0);
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's stable construction.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Remaining buckets are numerically 1.0.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t bucket = static_cast<size_t>(rng.NextUint64Below(prob_.size()));
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace freshen

@@ -1,0 +1,54 @@
+// Samplers for the distributions the paper's workloads are built from:
+// exponential inter-update gaps (Poisson change processes), gamma change
+// rates, Pareto object sizes, and Poisson counts.
+#ifndef FRESHEN_RNG_DISTRIBUTIONS_H_
+#define FRESHEN_RNG_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace freshen {
+
+/// Standard normal variate (polar/Marsaglia method).
+double SampleStandardNormal(Rng& rng);
+
+/// Exponential variate with the given rate (mean 1/rate). rate must be > 0.
+double SampleExponential(Rng& rng, double rate);
+
+/// Gamma variate with the given shape k > 0 and scale > 0 (mean k*scale,
+/// variance k*scale^2). Marsaglia-Tsang squeeze for k >= 1, boosted for k < 1.
+double SampleGamma(Rng& rng, double shape, double scale);
+
+/// Gamma variate parameterized by mean and standard deviation, the way the
+/// paper specifies its change-rate distribution (mean 2, UpdateStdDev sigma).
+double SampleGammaMeanStdDev(Rng& rng, double mean, double stddev);
+
+/// Pareto (Type I) variate with the given shape a > 0 and scale (minimum)
+/// x_m > 0. Mean is a*x_m/(a-1) for a > 1; the paper uses shape 1.1 with the
+/// scale chosen so the mean is 1.0 (section 5.3).
+double SamplePareto(Rng& rng, double shape, double scale);
+
+/// Returns the Pareto scale x_m that yields the requested mean for the given
+/// shape (requires shape > 1).
+double ParetoScaleForMean(double shape, double mean);
+
+/// Poisson count with the given mean. Inversion for small means, PTRS
+/// transformed-rejection for large.
+uint64_t SamplePoisson(Rng& rng, double mean);
+
+/// In-place Fisher-Yates shuffle.
+template <typename T>
+void Shuffle(Rng& rng, std::vector<T>& values) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.NextUint64Below(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace freshen
+
+#endif  // FRESHEN_RNG_DISTRIBUTIONS_H_

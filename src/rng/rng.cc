@@ -1,0 +1,69 @@
+#include "rng/rng.h"
+
+#include "common/macros.h"
+
+namespace freshen {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) word = mixer.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoublePositive() {
+  // (v + 1) / 2^53 lies in (0, 1].
+  return (static_cast<double>(NextUint64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextUint64Below(uint64_t bound) {
+  FRESHEN_DCHECK(bound > 0);
+  // Lemire (2019): multiply-shift with rejection of the biased zone.
+  __uint128_t m = static_cast<__uint128_t>(NextUint64()) * bound;
+  auto low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<__uint128_t>(NextUint64()) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDoubleIn(double lo, double hi) {
+  FRESHEN_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace freshen

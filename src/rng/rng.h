@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation. All freshen experiments are
+// seeded, so a given (seed, parameters) pair reproduces bit-identical
+// workloads across runs and machines.
+#ifndef FRESHEN_RNG_RNG_H_
+#define FRESHEN_RNG_RNG_H_
+
+#include <cstdint>
+
+namespace freshen {
+
+/// SplitMix64: used to expand a single 64-bit seed into the xoshiro state.
+/// Passes BigCrush; see Steele, Lea & Flood (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality general-purpose
+/// engine. This is the engine behind every freshen distribution.
+class Rng {
+ public:
+  /// Seeds the engine; any 64-bit value (including 0) is valid.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 pseudo-random bits.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in (0, 1]: never returns 0, safe for log().
+  double NextDoublePositive();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless method; the modulo bias is rejected away.
+  uint64_t NextUint64Below(uint64_t bound);
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleIn(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Returns a new engine seeded from this one's stream; use to give
+  /// subsystems independent deterministic streams.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_RNG_RNG_H_

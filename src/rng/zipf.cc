@@ -1,0 +1,35 @@
+#include "rng/zipf.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace freshen {
+
+double GeneralizedHarmonic(size_t n, double theta) {
+  // Kahan-compensated: for n = 500,000 terms naive summation loses digits
+  // that the probability tests would notice.
+  double sum = 0.0;
+  double comp = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    const double term =
+        std::pow(static_cast<double>(i), -theta) - comp;
+    const double next = sum + term;
+    comp = (next - sum) - term;
+    sum = next;
+  }
+  return sum;
+}
+
+std::vector<double> ZipfProbabilities(size_t n, double theta) {
+  FRESHEN_CHECK(n > 0);
+  FRESHEN_CHECK(theta >= 0.0);
+  std::vector<double> probs(n);
+  const double h = GeneralizedHarmonic(n, theta);
+  for (size_t i = 0; i < n; ++i) {
+    probs[i] = std::pow(static_cast<double>(i + 1), -theta) / h;
+  }
+  return probs;
+}
+
+}  // namespace freshen

@@ -1,0 +1,23 @@
+// Zipfian access distributions. The paper models the master profile as a Zipf
+// distribution with skew parameter theta in [0, 1.6]: the probability of
+// accessing element i (1-based rank) is proportional to 1/i^theta.
+#ifndef FRESHEN_RNG_ZIPF_H_
+#define FRESHEN_RNG_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace freshen {
+
+/// Returns the normalized Zipf(theta) probability vector over `n` ranks:
+/// p[i] = (1/(i+1)^theta) / H_{n,theta}. theta = 0 yields the uniform
+/// distribution. n must be > 0 and theta >= 0.
+std::vector<double> ZipfProbabilities(size_t n, double theta);
+
+/// Generalized harmonic number H_{n,theta} = sum_{i=1..n} i^{-theta},
+/// accumulated with compensated summation.
+double GeneralizedHarmonic(size_t n, double theta);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_RNG_ZIPF_H_

@@ -1,0 +1,90 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+
+Result<SyncSchedule> SyncSchedule::FixedOrder(
+    const std::vector<double>& frequencies, double horizon) {
+  if (!(horizon >= 0.0) || !std::isfinite(horizon)) {
+    return Status::InvalidArgument(
+        StrFormat("horizon must be non-negative and finite, got %g", horizon));
+  }
+  const size_t n = frequencies.size();
+  SyncSchedule schedule;
+  size_t total_events = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double f = frequencies[i];
+    if (!(f >= 0.0) || !std::isfinite(f)) {
+      return Status::InvalidArgument(
+          StrFormat("frequency %zu is negative or non-finite", i));
+    }
+    total_events += static_cast<size_t>(f * horizon) + 1;
+  }
+  schedule.events_.reserve(total_events);
+  for (size_t i = 0; i < n; ++i) {
+    const double f = frequencies[i];
+    if (f <= 0.0) continue;
+    const double interval = 1.0 / f;
+    // Deterministic phase stagger in [0, 1): spreads the first syncs of
+    // equal-frequency elements across their interval.
+    const double phase =
+        n > 0 ? static_cast<double>(i) / static_cast<double>(n) : 0.0;
+    for (double t = phase * interval; t < horizon; t += interval) {
+      schedule.events_.push_back(SyncEvent{t, i});
+    }
+  }
+  std::sort(schedule.events_.begin(), schedule.events_.end(),
+            [](const SyncEvent& a, const SyncEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.element < b.element;
+            });
+  return schedule;
+}
+
+Result<SyncSchedule> SyncSchedule::PoissonOrder(
+    const std::vector<double>& frequencies, double horizon, uint64_t seed) {
+  if (!(horizon >= 0.0) || !std::isfinite(horizon)) {
+    return Status::InvalidArgument(
+        StrFormat("horizon must be non-negative and finite, got %g", horizon));
+  }
+  SyncSchedule schedule;
+  Rng root(seed);
+  for (size_t i = 0; i < frequencies.size(); ++i) {
+    const double f = frequencies[i];
+    if (!(f >= 0.0) || !std::isfinite(f)) {
+      return Status::InvalidArgument(
+          StrFormat("frequency %zu is negative or non-finite", i));
+    }
+    Rng rng = root.Fork();
+    if (f <= 0.0) continue;
+    for (double t = SampleExponential(rng, f); t < horizon;
+         t += SampleExponential(rng, f)) {
+      schedule.events_.push_back(SyncEvent{t, i});
+    }
+  }
+  std::sort(schedule.events_.begin(), schedule.events_.end(),
+            [](const SyncEvent& a, const SyncEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.element < b.element;
+            });
+  return schedule;
+}
+
+double SyncSchedule::BandwidthPerPeriod(const ElementSet& elements,
+                                        double horizon) const {
+  if (horizon <= 0.0) return 0.0;
+  KahanSum total;
+  for (const SyncEvent& event : events_) {
+    total.Add(elements[event.element].size);
+  }
+  return total.Total() / horizon;
+}
+
+}  // namespace freshen

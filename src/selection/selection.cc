@@ -1,0 +1,87 @@
+#include "selection/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "model/freshness.h"
+
+namespace freshen {
+namespace {
+
+double SelectionScore(SelectionRule rule, const Element& element) {
+  switch (rule) {
+    case SelectionRule::kByAccessProb:
+      return element.access_prob;
+    case SelectionRule::kByProbOverLambda:
+      return element.change_rate > 0.0
+                 ? element.access_prob / element.change_rate
+                 : (element.access_prob > 0.0 ? 1e308 : 0.0);
+    case SelectionRule::kByPfValuePerByte: {
+      FRESHEN_DCHECK(element.size > 0.0);
+      const double value =
+          element.access_prob *
+          FixedOrderFreshness(1.0 / element.size, element.change_rate);
+      return value / element.size;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string ToString(SelectionRule rule) {
+  switch (rule) {
+    case SelectionRule::kByAccessProb:
+      return "BY_ACCESS_PROB";
+    case SelectionRule::kByProbOverLambda:
+      return "BY_P_OVER_LAMBDA";
+    case SelectionRule::kByPfValuePerByte:
+      return "BY_PF_VALUE_PER_BYTE";
+  }
+  return "UNKNOWN";
+}
+
+Result<MirrorSelection> SelectMirrorContents(const ElementSet& elements,
+                                             double storage_capacity,
+                                             SelectionRule rule) {
+  if (elements.empty()) {
+    return Status::InvalidArgument("catalog is empty");
+  }
+  if (!(storage_capacity > 0.0)) {
+    return Status::InvalidArgument("storage capacity must be positive");
+  }
+  std::vector<size_t> order(elements.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> scores(elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    scores[i] = SelectionScore(rule, elements[i]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  MirrorSelection selection;
+  for (size_t i : order) {
+    if (selection.storage_used + elements[i].size > storage_capacity) {
+      continue;  // Does not fit; try smaller, lower-ranked objects.
+    }
+    selection.chosen.push_back(i);
+    selection.storage_used += elements[i].size;
+    selection.access_coverage += elements[i].access_prob;
+  }
+  return selection;
+}
+
+ElementSet Subcatalog(const ElementSet& elements,
+                      const std::vector<size_t>& chosen) {
+  ElementSet sub;
+  sub.reserve(chosen.size());
+  for (size_t i : chosen) {
+    FRESHEN_CHECK(i < elements.size());
+    sub.push_back(elements[i]);
+  }
+  return sub;
+}
+
+}  // namespace freshen

@@ -1,0 +1,61 @@
+// Mirror selection — the paper's §7 future-work direction: "this could
+// influence which objects we include in the mirror when the mirror is
+// smaller than the database". Given a catalog and a storage capacity, choose
+// which objects to host so that the subsequent freshening plan maximizes
+// perceived freshness; objects not hosted contribute zero freshness to the
+// accesses that target them.
+#ifndef FRESHEN_SELECTION_SELECTION_H_
+#define FRESHEN_SELECTION_SELECTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/element.h"
+
+namespace freshen {
+
+/// Scoring rules for greedy selection.
+enum class SelectionRule {
+  /// Most-accessed first (pure popularity).
+  kByAccessProb,
+  /// Highest p/lambda first (popular and cheap to keep fresh).
+  kByProbOverLambda,
+  /// Highest achievable perceived-freshness value per unit of storage,
+  /// p * F(f0/s, lambda) / s with f0 = 1 (size- and volatility-aware).
+  kByPfValuePerByte,
+};
+
+/// Returns a short label for the rule.
+std::string ToString(SelectionRule rule);
+
+/// Result of a selection pass.
+struct MirrorSelection {
+  /// Chosen element indices, in selection order.
+  std::vector<size_t> chosen;
+  /// Total size of the chosen objects.
+  double storage_used = 0.0;
+  /// Sum of access probability covered by the chosen objects (an upper
+  /// bound on achievable perceived freshness).
+  double access_coverage = 0.0;
+};
+
+/// Greedily fills `storage_capacity` (in size units) with objects ranked by
+/// `rule`. Objects that do not fit are skipped (best-fit-decreasing style
+/// continuation). Fails on empty catalogs or non-positive capacity.
+Result<MirrorSelection> SelectMirrorContents(const ElementSet& elements,
+                                             double storage_capacity,
+                                             SelectionRule rule);
+
+/// Restricts a catalog to the chosen elements: unchosen elements keep their
+/// access probability (users still ask for them!) but are marked with
+/// change_rate untouched and size untouched; use `chosen` to build the
+/// sub-catalog for planning. Returns the sub-catalog plus a mapping from
+/// sub-index to original index.
+ElementSet Subcatalog(const ElementSet& elements,
+                      const std::vector<size_t>& chosen);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_SELECTION_SELECTION_H_

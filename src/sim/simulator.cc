@@ -1,0 +1,184 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "model/metrics.h"
+#include "rng/alias_table.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "schedule/schedule.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+enum class EventType : uint8_t {
+  // Order matters for simultaneous events: process the source update first,
+  // then the sync (a sync at time t picks up an update at time t), and score
+  // accesses against the post-transition state.
+  kUpdate = 0,
+  kSync = 1,
+  kAccess = 2,
+};
+
+struct SimEvent {
+  double time;
+  EventType type;
+  uint32_t element;
+};
+
+}  // namespace
+
+MirrorSimulator::MirrorSimulator(ElementSet elements, SimulationConfig config)
+    : elements_(std::move(elements)), config_(config) {}
+
+Result<SimulationResult> MirrorSimulator::Run(
+    const std::vector<double>& frequencies) const {
+  if (frequencies.size() != elements_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu frequencies for %zu elements", frequencies.size(),
+                  elements_.size()));
+  }
+  if (elements_.empty()) {
+    return Status::InvalidArgument("catalog is empty");
+  }
+  if (!(config_.horizon_periods > 0.0)) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  if (!(config_.warmup_periods >= 0.0) ||
+      config_.warmup_periods >= config_.horizon_periods) {
+    return Status::InvalidArgument("warmup must be in [0, horizon)");
+  }
+  const double horizon = config_.horizon_periods;
+  const double warmup = config_.warmup_periods;
+  const size_t n = elements_.size();
+
+  std::vector<SimEvent> events;
+
+  // Synchronization Scheduler: materialize the sync timeline under the
+  // configured policy.
+  FRESHEN_ASSIGN_OR_RETURN(
+      SyncSchedule schedule,
+      config_.sync_policy == SyncPolicy::kFixedOrder
+          ? SyncSchedule::FixedOrder(frequencies, horizon)
+          : SyncSchedule::PoissonOrder(frequencies, horizon,
+                                       config_.seed ^ 0x706f6973ULL));
+  events.reserve(schedule.size());
+  for (const SyncEvent& sync : schedule.events()) {
+    events.push_back(
+        {sync.time, EventType::kSync, static_cast<uint32_t>(sync.element)});
+  }
+
+  // Update Generator: per-element Poisson change processes at the source.
+  Rng update_rng(config_.seed ^ 0x75706474ULL);
+  for (size_t i = 0; i < n; ++i) {
+    const double lambda = elements_[i].change_rate;
+    if (lambda <= 0.0) continue;
+    Rng element_rng = update_rng.Fork();
+    for (double t = SampleExponential(element_rng, lambda); t < horizon;
+         t += SampleExponential(element_rng, lambda)) {
+      events.push_back({t, EventType::kUpdate, static_cast<uint32_t>(i)});
+    }
+  }
+
+  // User Request Generator: Poisson arrivals, element from master profile.
+  std::vector<double> probs = AccessProbs(elements_);
+  const double prob_total = Sum(probs);
+  uint64_t planned_accesses = 0;
+  if (config_.accesses_per_period > 0.0 && prob_total > 0.0) {
+    AliasTable table(probs);
+    Rng access_rng(config_.seed ^ 0x61636373ULL);
+    for (double t = SampleExponential(access_rng, config_.accesses_per_period);
+         t < horizon;
+         t += SampleExponential(access_rng, config_.accesses_per_period)) {
+      events.push_back({t, EventType::kAccess,
+                        static_cast<uint32_t>(table.Sample(access_rng))});
+      ++planned_accesses;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const SimEvent& a, const SimEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return static_cast<uint8_t>(a.type) <
+                     static_cast<uint8_t>(b.type);
+            });
+
+  // Mirror state: every copy starts in sync with the source.
+  std::vector<uint8_t> fresh(n, 1);
+  // Time of the first source update the mirror has not yet picked up
+  // (defined only while stale); drives the age metric.
+  std::vector<double> stale_since(n, 0.0);
+
+  size_t fresh_count = n;
+  double prev_time = warmup;
+  KahanSum freshness_integral;  // integral of fresh_count dt, post-warmup.
+  KahanSum age_sum;
+  uint64_t accesses = 0;
+  uint64_t fresh_accesses = 0;
+  uint64_t updates = 0;
+  uint64_t syncs = 0;
+
+  for (const SimEvent& event : events) {
+    if (event.time >= warmup) {
+      freshness_integral.Add(static_cast<double>(fresh_count) *
+                             (event.time - prev_time));
+      prev_time = event.time;
+    }
+    const uint32_t i = event.element;
+    switch (event.type) {
+      case EventType::kUpdate:
+        if (event.time >= warmup) ++updates;
+        if (fresh[i]) {
+          fresh[i] = 0;
+          stale_since[i] = event.time;
+          --fresh_count;
+        }
+        break;
+      case EventType::kSync:
+        if (event.time >= warmup) ++syncs;
+        if (!fresh[i]) {
+          fresh[i] = 1;
+          ++fresh_count;
+        }
+        break;
+      case EventType::kAccess:
+        if (event.time < warmup) break;
+        ++accesses;
+        if (fresh[i]) {
+          ++fresh_accesses;
+          age_sum.Add(0.0);
+        } else {
+          age_sum.Add(event.time - stale_since[i]);
+        }
+        break;
+    }
+  }
+  // Close the integration window at the horizon.
+  freshness_integral.Add(static_cast<double>(fresh_count) *
+                         (horizon - prev_time));
+
+  SimulationResult result;
+  result.num_accesses = accesses;
+  result.num_updates = updates;
+  result.num_syncs = syncs;
+  result.empirical_perceived_freshness =
+      accesses > 0 ? static_cast<double>(fresh_accesses) /
+                         static_cast<double>(accesses)
+                   : 0.0;
+  result.empirical_general_freshness =
+      freshness_integral.Total() /
+      (static_cast<double>(n) * (horizon - warmup));
+  result.empirical_perceived_age =
+      accesses > 0 ? age_sum.Total() / static_cast<double>(accesses) : 0.0;
+  result.analytic_perceived_freshness =
+      PerceivedFreshness(elements_, frequencies, config_.sync_policy);
+  result.analytic_general_freshness =
+      GeneralFreshness(elements_, frequencies, config_.sync_policy);
+  (void)planned_accesses;
+  return result;
+}
+
+}  // namespace freshen

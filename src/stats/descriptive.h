@@ -1,0 +1,68 @@
+// Descriptive statistics used by workload validation, tests, and the
+// freshness evaluator's reporting.
+#ifndef FRESHEN_STATS_DESCRIPTIVE_H_
+#define FRESHEN_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace freshen {
+
+/// Kahan-compensated accumulator. Use when summing many small contributions
+/// (e.g. per-access freshness scores over millions of events).
+class KahanSum {
+ public:
+  /// Adds one term.
+  void Add(double value);
+
+  /// The compensated total so far.
+  double Total() const { return sum_; }
+
+  /// Number of terms added.
+  size_t Count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// Streaming mean/variance (Welford). Numerically stable for long runs.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Number of observations.
+  size_t Count() const { return count_; }
+  /// Sample mean (0 when empty).
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance (0 with fewer than two observations).
+  double Variance() const;
+  /// Square root of Variance().
+  double StdDev() const;
+  /// Smallest observation (+inf when empty).
+  double Min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e308;
+  double max_ = -1e308;
+};
+
+/// Sum of a vector with compensation.
+double Sum(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for an empty vector).
+double Mean(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts internally.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_STATS_DESCRIPTIVE_H_

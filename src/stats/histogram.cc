@@ -1,0 +1,64 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace freshen {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(num_bins)),
+      bins_(num_bins, 0) {
+  FRESHEN_CHECK(num_bins > 0);
+  FRESHEN_CHECK(lo < hi);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const double offset = (value - lo_) / width_;
+  if (offset >= static_cast<double>(bins_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[static_cast<size_t>(offset)];
+}
+
+double Histogram::BinLow(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::ChiSquare(const std::vector<double>& expected_probs) const {
+  FRESHEN_CHECK(expected_probs.size() == bins_.size());
+  double prob_total = 0.0;
+  for (double p : expected_probs) prob_total += p;
+  FRESHEN_CHECK(prob_total > 0.0);
+  const double n = static_cast<double>(total_ - underflow_ - overflow_);
+  double chi2 = 0.0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    const double expected = n * expected_probs[i] / prob_total;
+    if (expected < 1e-9) continue;
+    const double diff = static_cast<double>(bins_[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out += StrFormat("[%g, %g): %llu\n", BinLow(i), BinLow(i + 1),
+                     static_cast<unsigned long long>(bins_[i]));
+  }
+  out += StrFormat("underflow: %llu overflow: %llu\n",
+                   static_cast<unsigned long long>(underflow_),
+                   static_cast<unsigned long long>(overflow_));
+  return out;
+}
+
+}  // namespace freshen

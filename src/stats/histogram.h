@@ -1,0 +1,56 @@
+// Fixed-width histogram, used by distribution tests (goodness of fit) and by
+// the simulator's staleness reporting.
+#ifndef FRESHEN_STATS_HISTOGRAM_H_
+#define FRESHEN_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace freshen {
+
+/// Equal-width bins over [lo, hi); out-of-range observations land in
+/// saturating under/overflow bins.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal bins covering [lo, hi). Requires lo < hi and
+  /// num_bins > 0.
+  Histogram(double lo, double hi, size_t num_bins);
+
+  /// Records one observation.
+  void Add(double value);
+
+  /// Count in bin `i` (0-based, excludes under/overflow).
+  uint64_t BinCount(size_t i) const { return bins_[i]; }
+  /// Observations below `lo`.
+  uint64_t Underflow() const { return underflow_; }
+  /// Observations at or above `hi`.
+  uint64_t Overflow() const { return overflow_; }
+  /// Total observations recorded, including under/overflow.
+  uint64_t TotalCount() const { return total_; }
+  /// Number of in-range bins.
+  size_t NumBins() const { return bins_.size(); }
+  /// Lower edge of bin `i`.
+  double BinLow(size_t i) const;
+
+  /// Pearson chi-square statistic against expected probabilities per bin
+  /// (same length as NumBins(), need not be normalized). Bins whose expected
+  /// count is < 1e-9 are skipped.
+  double ChiSquare(const std::vector<double>& expected_probs) const;
+
+  /// Multi-line "edge count" text rendering.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> bins_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_STATS_HISTOGRAM_H_

@@ -1,0 +1,105 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "rng/zipf.h"
+
+namespace freshen {
+namespace {
+
+// Distinct stream tags so rates, sizes and shuffles never share a stream.
+constexpr uint64_t kRateStream = 0x7261746573ULL;   // "rates"
+constexpr uint64_t kSizeStream = 0x73697a6573ULL;   // "sizes"
+constexpr uint64_t kShufStream = 0x73687566ULL;     // "shuf"
+
+Alignment SizeAlignmentToAlignment(SizeAlignment alignment) {
+  switch (alignment) {
+    case SizeAlignment::kAligned:
+      return Alignment::kAligned;
+    case SizeAlignment::kReverse:
+      return Alignment::kReverse;
+    case SizeAlignment::kShuffled:
+      return Alignment::kShuffled;
+  }
+  return Alignment::kShuffled;
+}
+
+}  // namespace
+
+std::vector<double> DrawChangeRates(const ExperimentSpec& spec) {
+  Rng rng(spec.seed ^ kRateStream);
+  std::vector<double> rates(spec.num_objects);
+  for (double& rate : rates) {
+    rate = SampleGammaMeanStdDev(rng, spec.mean_updates_per_object,
+                                 spec.update_stddev);
+  }
+  return rates;
+}
+
+std::vector<double> DrawSizes(const ExperimentSpec& spec) {
+  std::vector<double> sizes(spec.num_objects, spec.mean_size);
+  if (spec.size_model == SizeModel::kPareto) {
+    Rng rng(spec.seed ^ kSizeStream);
+    const double scale = ParetoScaleForMean(spec.pareto_shape, spec.mean_size);
+    for (double& size : sizes) {
+      size = SamplePareto(rng, spec.pareto_shape, scale);
+    }
+  }
+  return sizes;
+}
+
+void ArrangeByRank(std::vector<double>& values, Alignment alignment,
+                   uint64_t seed) {
+  switch (alignment) {
+    case Alignment::kAligned:
+      std::sort(values.begin(), values.end(), std::greater<double>());
+      break;
+    case Alignment::kReverse:
+      std::sort(values.begin(), values.end());
+      break;
+    case Alignment::kShuffled: {
+      Rng rng(seed ^ kShufStream);
+      Shuffle(rng, values);
+      break;
+    }
+  }
+}
+
+Result<ElementSet> GenerateCatalog(const ExperimentSpec& spec) {
+  if (spec.num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (!(spec.mean_updates_per_object > 0.0)) {
+    return Status::InvalidArgument("mean_updates_per_object must be > 0");
+  }
+  if (!(spec.update_stddev > 0.0)) {
+    return Status::InvalidArgument("update_stddev must be > 0");
+  }
+  if (spec.theta < 0.0) {
+    return Status::InvalidArgument("theta must be >= 0");
+  }
+  if (spec.size_model == SizeModel::kPareto && !(spec.pareto_shape > 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("pareto_shape must be > 1 to fix the mean, got %g",
+                  spec.pareto_shape));
+  }
+  if (!(spec.mean_size > 0.0)) {
+    return Status::InvalidArgument("mean_size must be > 0");
+  }
+
+  std::vector<double> probs = ZipfProbabilities(spec.num_objects, spec.theta);
+  std::vector<double> rates = DrawChangeRates(spec);
+  ArrangeByRank(rates, spec.alignment, spec.seed);
+  std::vector<double> sizes = DrawSizes(spec);
+  ArrangeByRank(sizes, SizeAlignmentToAlignment(spec.size_alignment),
+                spec.seed + 1);
+
+  return MakeElementSet(rates, probs, sizes);
+}
+
+}  // namespace freshen

@@ -1,0 +1,39 @@
+// Builds synthetic mirror catalogs from an ExperimentSpec: Zipf master
+// profile, gamma change rates, uniform or Pareto sizes, with the paper's
+// alignment configurations applied.
+#ifndef FRESHEN_WORKLOAD_GENERATOR_H_
+#define FRESHEN_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "model/element.h"
+#include "workload/spec.h"
+
+namespace freshen {
+
+/// Generates the element catalog described by `spec`. Element index equals
+/// access rank: element 0 is the hottest (Zipf rank 1). Change rates are
+/// drawn from gamma(mean, sigma) and then arranged per spec.alignment
+/// relative to that rank order; sizes likewise per spec.size_alignment.
+/// Deterministic in spec.seed. Fails on invalid parameters (e.g. zero
+/// objects, non-positive mean rate).
+Result<ElementSet> GenerateCatalog(const ExperimentSpec& spec);
+
+/// Draws `n` change rates from the spec's gamma distribution (unsorted,
+/// deterministic in `seed`).
+std::vector<double> DrawChangeRates(const ExperimentSpec& spec);
+
+/// Draws `n` object sizes from the spec's size model (unsorted,
+/// deterministic in `seed`).
+std::vector<double> DrawSizes(const ExperimentSpec& spec);
+
+/// Arranges `values` against rank order: descending for kAligned (rank 0
+/// gets the largest value), ascending for kReverse, random permutation for
+/// kShuffled. The shuffle is deterministic in `seed`.
+void ArrangeByRank(std::vector<double>& values, Alignment alignment,
+                   uint64_t seed);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,47 @@
+#include "workload/spec.h"
+
+namespace freshen {
+
+std::string ToString(Alignment alignment) {
+  switch (alignment) {
+    case Alignment::kAligned:
+      return "aligned";
+    case Alignment::kReverse:
+      return "reverse";
+    case Alignment::kShuffled:
+      return "shuffled";
+  }
+  return "unknown";
+}
+
+std::string ToString(SizeModel model) {
+  switch (model) {
+    case SizeModel::kUniform:
+      return "uniform";
+    case SizeModel::kPareto:
+      return "pareto";
+  }
+  return "unknown";
+}
+
+ExperimentSpec ExperimentSpec::IdealCase() {
+  ExperimentSpec spec;
+  spec.num_objects = 500;
+  spec.mean_updates_per_object = 2.0;  // NumUpdatesPerPeriod = 1000.
+  spec.update_stddev = 1.0;
+  spec.syncs_per_period = 250.0;
+  spec.theta = 1.0;
+  return spec;
+}
+
+ExperimentSpec ExperimentSpec::BigCase() {
+  ExperimentSpec spec;
+  spec.num_objects = 500000;
+  spec.mean_updates_per_object = 2.0;  // NumUpdatesPerPeriod = 1,000,000.
+  spec.update_stddev = 2.0;
+  spec.syncs_per_period = 250000.0;
+  spec.theta = 1.0;
+  return spec;
+}
+
+}  // namespace freshen

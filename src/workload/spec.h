@@ -1,0 +1,84 @@
+// Declarative experiment specifications matching the paper's simulator
+// parameters (section 4): NumObjects, NumUpdatesPerPeriod (via the gamma
+// mean), NumSyncsPerPeriod, Theta and UpdateStdDev, plus the alignment of
+// access vs change distributions (Figure 2) and the object-size model (§5).
+#ifndef FRESHEN_WORKLOAD_SPEC_H_
+#define FRESHEN_WORKLOAD_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace freshen {
+
+/// How the change-rate distribution is aligned against the (rank-ordered)
+/// access distribution — the paper's three configurations (§2.2.2, Fig. 2).
+enum class Alignment {
+  /// Hottest elements change most (volatile stocks / day traders).
+  kAligned,
+  /// Hottest elements change least.
+  kReverse,
+  /// No relationship: change rates shuffled randomly across ranks.
+  kShuffled,
+};
+
+/// Returns "aligned" / "reverse" / "shuffled".
+std::string ToString(Alignment alignment);
+
+/// Object-size models (§5).
+enum class SizeModel {
+  /// All objects have size 1.0 (the core problem's assumption).
+  kUniform,
+  /// Pareto-distributed sizes (web object sizes, citing [12]).
+  kPareto,
+};
+
+/// Returns "uniform" / "pareto".
+std::string ToString(SizeModel model);
+
+/// How object sizes relate to element rank (used by Figures 10-11).
+enum class SizeAlignment {
+  /// Sizes assigned in the order they were drawn (no relationship).
+  kShuffled,
+  /// Largest object first (rank 1 biggest) — Figure 10.
+  kAligned,
+  /// Smallest object first — Figure 11's "change and size reversed".
+  kReverse,
+};
+
+/// Full description of a synthetic experiment. Field defaults reproduce the
+/// paper's Table 2 ("Setup for Ideal Experiments").
+struct ExperimentSpec {
+  /// Number of objects in the mirror (N).
+  size_t num_objects = 500;
+  /// Mean updates per object per sync period (gamma mean). Table 2's
+  /// NumUpdatesPerPeriod = 1000 over 500 objects = mean 2.
+  double mean_updates_per_object = 2.0;
+  /// Standard deviation of the gamma change-rate distribution (sigma).
+  double update_stddev = 1.0;
+  /// Sync bandwidth per period (NumSyncsPerPeriod), in bandwidth units.
+  double syncs_per_period = 250.0;
+  /// Zipf skew of the master profile (theta).
+  double theta = 1.0;
+  /// Alignment between access rank and change rate.
+  Alignment alignment = Alignment::kShuffled;
+  /// Object-size distribution.
+  SizeModel size_model = SizeModel::kUniform;
+  /// Pareto shape when size_model == kPareto (paper uses 1.1).
+  double pareto_shape = 1.1;
+  /// Mean object size (paper uses 1.0).
+  double mean_size = 1.0;
+  /// Alignment between access rank and size.
+  SizeAlignment size_alignment = SizeAlignment::kShuffled;
+  /// Root seed for all randomness in the generated catalog.
+  uint64_t seed = 20030305;  // ICDE 2003 :-)
+
+  /// Table 2 of the paper ("ideal" experiments, N = 500).
+  static ExperimentSpec IdealCase();
+  /// Table 3 of the paper ("big" experiments, N = 500,000).
+  static ExperimentSpec BigCase();
+};
+
+}  // namespace freshen
+
+#endif  // FRESHEN_WORKLOAD_SPEC_H_

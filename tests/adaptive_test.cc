@@ -1,0 +1,149 @@
+// Tests for the closed-loop AdaptiveFreshener: cold start, evidence
+// accumulation, re-plan cadence, and convergence toward the oracle plan on
+// a synthetic ground truth.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_freshener.h"
+#include "model/metrics.h"
+#include "rng/alias_table.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+AdaptiveFreshener::Options DefaultOptions() {
+  AdaptiveFreshener::Options options;
+  options.replan_every_periods = 1.0;
+  options.prior_change_rate = 2.0;
+  return options;
+}
+
+TEST(AdaptiveTest, ColdStartInstallsUniformPlan) {
+  auto controller =
+      AdaptiveFreshener::Create({1.0, 1.0, 1.0, 1.0}, 4.0, DefaultOptions())
+          .value();
+  EXPECT_EQ(controller.num_replans(), 1u);
+  // No evidence: believed catalog is uniform, so the plan is symmetric.
+  const auto& freqs = controller.frequencies();
+  for (double f : freqs) EXPECT_NEAR(f, freqs[0], 1e-9);
+  const ElementSet believed = controller.BelievedCatalog();
+  for (const Element& e : believed) {
+    EXPECT_NEAR(e.access_prob, 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(e.change_rate, 2.0);
+  }
+}
+
+TEST(AdaptiveTest, RespectsReplanCadence) {
+  auto controller =
+      AdaptiveFreshener::Create({1.0, 1.0}, 2.0, DefaultOptions()).value();
+  EXPECT_FALSE(controller.MaybeReplan(0.5).value());
+  EXPECT_TRUE(controller.MaybeReplan(1.0).value());
+  EXPECT_FALSE(controller.MaybeReplan(1.5).value());
+  EXPECT_TRUE(controller.MaybeReplan(2.1).value());
+  EXPECT_TRUE(controller.MaybeReplan(2.2, /*force=*/true).value());
+  EXPECT_EQ(controller.num_replans(), 4u);
+}
+
+TEST(AdaptiveTest, AccessesSteerBandwidthTowardHotElements) {
+  auto controller =
+      AdaptiveFreshener::Create({1.0, 1.0}, 1.0, DefaultOptions()).value();
+  for (int i = 0; i < 1000; ++i) controller.ObserveAccess(0);
+  ASSERT_TRUE(controller.MaybeReplan(1.0).value());
+  EXPECT_GT(controller.frequencies()[0], controller.frequencies()[1]);
+}
+
+TEST(AdaptiveTest, SyncEvidenceUpdatesChangeRates) {
+  auto controller =
+      AdaptiveFreshener::Create({1.0, 1.0}, 2.0, DefaultOptions()).value();
+  // Element 0: changed on every observed gap; element 1: never.
+  for (int k = 0; k < 50; ++k) {
+    controller.ObserveSync(0, /*changed=*/k > 0, 0.5 * k);
+    controller.ObserveSync(1, /*changed=*/false, 0.5 * k);
+  }
+  const ElementSet believed = controller.BelievedCatalog();
+  EXPECT_GT(believed[0].change_rate, 5.0);
+  EXPECT_LT(believed[1].change_rate, 0.1);
+}
+
+TEST(AdaptiveTest, FirstSyncCarriesNoEvidence) {
+  auto controller =
+      AdaptiveFreshener::Create({1.0}, 1.0, DefaultOptions()).value();
+  controller.ObserveSync(0, /*changed=*/true, 3.0);
+  // Single sync: no gap observed, prior still in force.
+  EXPECT_DOUBLE_EQ(controller.BelievedCatalog()[0].change_rate, 2.0);
+}
+
+TEST(AdaptiveTest, RejectsInvalidConfigurations) {
+  EXPECT_FALSE(AdaptiveFreshener::Create({}, 1.0, DefaultOptions()).ok());
+  EXPECT_FALSE(
+      AdaptiveFreshener::Create({0.0}, 1.0, DefaultOptions()).ok());
+  EXPECT_FALSE(
+      AdaptiveFreshener::Create({1.0}, 0.0, DefaultOptions()).ok());
+  auto bad_cadence = DefaultOptions();
+  bad_cadence.replan_every_periods = 0.0;
+  EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, bad_cadence).ok());
+  auto bad_prior = DefaultOptions();
+  bad_prior.prior_change_rate = 0.0;
+  EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, bad_prior).ok());
+  auto bad_smoothing = DefaultOptions();
+  bad_smoothing.learner.smoothing = 0.0;
+  EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, bad_smoothing).ok());
+}
+
+// End-to-end convergence: drive the controller against a synthetic ground
+// truth for many periods; the plan's true perceived freshness must climb
+// from the cold-start level toward the oracle optimum.
+TEST(AdaptiveTest, ConvergesTowardOraclePlan) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 120;
+  spec.syncs_per_period = 60.0;
+  spec.theta = 1.1;
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet truth = GenerateCatalog(spec).value();
+
+  const double oracle_pf = FreshenPlanner({})
+                               .Plan(truth, spec.syncs_per_period)
+                               .value()
+                               .perceived_freshness;
+
+  auto controller = AdaptiveFreshener::Create(
+                        Sizes(truth), spec.syncs_per_period, DefaultOptions())
+                        .value();
+  const double cold_pf = PerceivedFreshness(truth, controller.frequencies());
+
+  Rng rng(2024);
+  AliasTable traffic(AccessProbs(truth));
+  for (int period = 1; period <= 40; ++period) {
+    // User traffic this period.
+    for (int a = 0; a < 3000; ++a) {
+      controller.ObserveAccess(traffic.Sample(rng));
+    }
+    // Sync outcomes: each element synced per its current frequency; a sync
+    // after gap g sees a change with probability 1 - e^{-lambda g}.
+    const auto freqs = controller.frequencies();
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (freqs[i] <= 0.0) continue;
+      const double gap = 1.0 / freqs[i];
+      const int syncs_this_period = static_cast<int>(freqs[i]) + 1;
+      for (int s = 0; s < syncs_this_period; ++s) {
+        const double t = period - 1 + s * gap;
+        if (t >= period) break;
+        const double p_change = -std::expm1(-truth[i].change_rate * gap);
+        controller.ObserveSync(i, rng.NextBool(p_change), t);
+      }
+    }
+    ASSERT_TRUE(controller.MaybeReplan(period).ok());
+  }
+
+  const double warm_pf = PerceivedFreshness(truth, controller.frequencies());
+  EXPECT_GT(warm_pf, cold_pf);
+  EXPECT_GT(warm_pf, 0.9 * oracle_pf);
+  EXPECT_GT(controller.num_replans(), 30u);
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,156 @@
+// Tests for the age-marginal kernel and the age-minimizing water-filling
+// solver (extension beyond the paper; see DESIGN.md ablation row).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "model/freshness.h"
+#include "model/metrics.h"
+#include "opt/age_water_filling.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "rng/rng.h"
+
+namespace freshen {
+namespace {
+
+TEST(AgeKernelTest, MatchesDefinition) {
+  for (double r : {0.01, 0.1, 1.0, 5.0, 40.0}) {
+    EXPECT_NEAR(AgeMarginalKernelH(r), 0.5 * r * r - MarginalGainG(r),
+                1e-9 * (1.0 + 0.5 * r * r))
+        << r;
+  }
+}
+
+TEST(AgeKernelTest, SeriesBranchMatchesDirect) {
+  const double below = AgeMarginalKernelH(1e-3 * 0.999999);
+  const double above = AgeMarginalKernelH(1e-3 * 1.000001);
+  EXPECT_NEAR(below, above, 2e-15);
+}
+
+TEST(AgeKernelTest, MarginalMatchesNumericAgeDerivative) {
+  // -dA/df == h(lambda/f) / lambda^2.
+  for (double f : {0.3, 1.0, 4.0}) {
+    for (double lambda : {0.5, 2.0, 6.0}) {
+      const double hstep = 1e-6 * f;
+      const double numeric = -(FixedOrderAge(f + hstep, lambda) -
+                               FixedOrderAge(f - hstep, lambda)) /
+                             (2.0 * hstep);
+      const double analytic =
+          AgeMarginalKernelH(lambda / f) / (lambda * lambda);
+      EXPECT_NEAR(analytic, numeric, 1e-5 * std::fabs(numeric) + 1e-12)
+          << "f=" << f << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(AgeKernelTest, HPrimeMatchesFiniteDifference) {
+  for (double r : {0.05, 0.5, 3.0, 20.0}) {
+    const double h = 1e-6 * r;
+    const double numeric =
+        (AgeMarginalKernelH(r + h) - AgeMarginalKernelH(r - h)) / (2.0 * h);
+    EXPECT_NEAR(AgeMarginalKernelHPrime(r), numeric,
+                1e-5 * std::fabs(numeric) + 1e-12);
+  }
+}
+
+TEST(AgeKernelTest, InverseRoundTrips) {
+  for (double y = 1e-9; y < 1e8; y *= 7.0) {
+    const double r = InverseAgeMarginalKernelH(y);
+    EXPECT_NEAR(AgeMarginalKernelH(r), y, 1e-9 * (1.0 + y)) << "y=" << y;
+  }
+}
+
+TEST(AgeSolverTest, NeverStarvesAnyElement) {
+  // The qualitative difference from freshness optimization: even a wildly
+  // volatile, barely-accessed element gets some bandwidth.
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0, 3.0, 4.0, 50.0}, //
+                     {0.3, 0.3, 0.2, 0.15, 0.05});
+  const CoreProblem problem = MakePerceivedProblem(elements, 5.0, false);
+  const Allocation age_plan = AgeWaterFillingSolver().Solve(problem).value();
+  for (double f : age_plan.frequencies) EXPECT_GT(f, 0.0);
+  // Whereas the freshness optimum starves the volatile element.
+  const Allocation pf_plan = KktWaterFillingSolver().Solve(problem).value();
+  EXPECT_DOUBLE_EQ(pf_plan.frequencies[4], 0.0);
+}
+
+TEST(AgeSolverTest, BudgetMetExactly) {
+  const ElementSet elements = MakeElementSet({1.0, 2.0, 3.0}, {0.5, 0.3, 0.2},
+                                             {1.0, 2.0, 0.5});
+  const CoreProblem problem = MakePerceivedProblem(elements, 4.0, true);
+  const Allocation plan = AgeWaterFillingSolver().Solve(problem).value();
+  EXPECT_NEAR(plan.bandwidth_used, 4.0, 1e-9);
+}
+
+TEST(AgeSolverTest, BeatsFreshnessOptimalOnAgeAndLosesOnFreshness) {
+  const ElementSet elements = MakeElementSet(
+      {1.0, 2.0, 3.0, 4.0, 5.0},
+      {5.0 / 15, 4.0 / 15, 3.0 / 15, 2.0 / 15, 1.0 / 15});
+  const CoreProblem problem = MakePerceivedProblem(elements, 5.0, false);
+  const Allocation age_plan = AgeWaterFillingSolver().Solve(problem).value();
+  const Allocation pf_plan = KktWaterFillingSolver().Solve(problem).value();
+  EXPECT_LT(PerceivedAge(elements, age_plan.frequencies),
+            PerceivedAge(elements, pf_plan.frequencies));
+  EXPECT_GT(PerceivedFreshness(elements, pf_plan.frequencies),
+            PerceivedFreshness(elements, age_plan.frequencies));
+}
+
+TEST(AgeSolverTest, KktStationarityHolds) {
+  // All allocated elements share the same marginal age reduction per unit
+  // of bandwidth.
+  Rng rng(321);
+  CoreProblem problem;
+  for (int i = 0; i < 200; ++i) {
+    problem.weights.push_back(rng.NextDoubleIn(0.01, 1.0));
+    problem.change_rates.push_back(rng.NextDoubleIn(0.05, 8.0));
+    problem.costs.push_back(rng.NextDoubleIn(0.2, 4.0));
+  }
+  problem.bandwidth = 60.0;
+  const Allocation plan = AgeWaterFillingSolver().Solve(problem).value();
+  for (size_t i = 0; i < problem.size(); ++i) {
+    const double r = problem.change_rates[i] / plan.frequencies[i];
+    const double marginal =
+        problem.weights[i] * AgeMarginalKernelH(r) /
+        (problem.change_rates[i] * problem.change_rates[i] *
+         problem.costs[i]);
+    EXPECT_NEAR(marginal, plan.multiplier, 1e-5 * plan.multiplier)
+        << "element " << i;
+  }
+}
+
+TEST(AgeSolverTest, OptimumDominatesGridOnTwoElements) {
+  // Brute-force check: no split of the budget between two elements yields
+  // lower weighted age than the solver's.
+  const ElementSet elements = MakeElementSet({2.0, 0.7}, {0.6, 0.4});
+  const double bandwidth = 2.0;
+  const CoreProblem problem =
+      MakePerceivedProblem(elements, bandwidth, false);
+  const Allocation plan = AgeWaterFillingSolver().Solve(problem).value();
+  const double best = plan.objective;
+  for (int step = 1; step < 400; ++step) {
+    const double f0 = bandwidth * step / 400.0;
+    const double f1 = bandwidth - f0;
+    const double age = 0.6 * FixedOrderAge(f0, 2.0) +
+                       0.4 * FixedOrderAge(f1, 0.7);
+    EXPECT_GE(age, best - 1e-9) << "f0=" << f0;
+  }
+}
+
+TEST(AgeSolverTest, ZeroChangeRateElementsExcluded) {
+  const ElementSet elements = MakeElementSet({0.0, 1.0}, {0.5, 0.5});
+  const CoreProblem problem = MakePerceivedProblem(elements, 1.0, false);
+  const Allocation plan = AgeWaterFillingSolver().Solve(problem).value();
+  EXPECT_DOUBLE_EQ(plan.frequencies[0], 0.0);
+  EXPECT_NEAR(plan.frequencies[1], 1.0, 1e-9);
+}
+
+TEST(AgeSolverTest, RejectsInvalidProblems) {
+  CoreProblem empty;
+  empty.bandwidth = 1.0;
+  EXPECT_FALSE(AgeWaterFillingSolver().Solve(empty).ok());
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,129 @@
+// Tests for catalog CSV parsing/serialization and the file helpers.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/catalog_io.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+TEST(CatalogCsvTest, ParsesMinimalCatalog) {
+  const auto catalog = ParseCatalogCsv(
+                           "change_rate,access_prob\n"
+                           "2.0,0.5\n"
+                           "1.0,0.5\n")
+                           .value();
+  ASSERT_EQ(catalog.size(), 2u);
+  EXPECT_DOUBLE_EQ(catalog[0].change_rate, 2.0);
+  EXPECT_DOUBLE_EQ(catalog[0].access_prob, 0.5);
+  EXPECT_DOUBLE_EQ(catalog[0].size, 1.0);
+}
+
+TEST(CatalogCsvTest, NormalizesRawAccessCounts) {
+  const auto catalog = ParseCatalogCsv(
+                           "change_rate,access_prob\n"
+                           "1.0,30\n"
+                           "1.0,10\n")
+                           .value();
+  EXPECT_DOUBLE_EQ(catalog[0].access_prob, 0.75);
+  EXPECT_DOUBLE_EQ(catalog[1].access_prob, 0.25);
+}
+
+TEST(CatalogCsvTest, ColumnsInAnyOrderWithExtras) {
+  const auto catalog = ParseCatalogCsv(
+                           "url,size,access_prob,change_rate\n"
+                           "http://a,2.0,0.6,3.0\n"
+                           "http://b,4.0,0.4,1.0\n")
+                           .value();
+  ASSERT_EQ(catalog.size(), 2u);
+  EXPECT_DOUBLE_EQ(catalog[0].size, 2.0);
+  EXPECT_DOUBLE_EQ(catalog[0].change_rate, 3.0);
+  EXPECT_DOUBLE_EQ(catalog[1].access_prob, 0.4);
+}
+
+TEST(CatalogCsvTest, HeaderIsCaseAndSpaceInsensitive) {
+  const auto catalog = ParseCatalogCsv(
+                           " Change_Rate , ACCESS_PROB \r\n"
+                           "1.5,1.0\n")
+                           .value();
+  ASSERT_EQ(catalog.size(), 1u);
+  EXPECT_DOUBLE_EQ(catalog[0].change_rate, 1.5);
+}
+
+TEST(CatalogCsvTest, SkipsBlankLines) {
+  const auto catalog = ParseCatalogCsv(
+                           "change_rate,access_prob\n"
+                           "1.0,1.0\n"
+                           "\n"
+                           "2.0,1.0\n"
+                           "\n")
+                           .value();
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(CatalogCsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCatalogCsv("").ok());
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n").ok());
+  EXPECT_FALSE(ParseCatalogCsv("foo,bar\n1,2\n").ok());  // Wrong header.
+  EXPECT_FALSE(
+      ParseCatalogCsv("change_rate,access_prob\nnot_a_number,1\n").ok());
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n-1,1\n").ok());
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n1\n").ok());
+  EXPECT_FALSE(
+      ParseCatalogCsv("change_rate,access_prob,size\n1,1,0\n").ok());
+  // All-zero access weights cannot be normalized.
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n1,0\n2,0\n").ok());
+}
+
+TEST(CatalogCsvTest, RoundTripsThroughSerialization) {
+  const ElementSet original =
+      MakeElementSet({1.25, 3.5, 0.125}, {0.5, 0.25, 0.25}, {1.0, 2.5, 0.5});
+  const auto parsed = ParseCatalogCsv(CatalogToCsv(original)).value();
+  ASSERT_EQ(parsed.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].change_rate, original[i].change_rate);
+    EXPECT_DOUBLE_EQ(parsed[i].access_prob, original[i].access_prob);
+    EXPECT_DOUBLE_EQ(parsed[i].size, original[i].size);
+  }
+}
+
+TEST(CatalogCsvTest, PlanCsvHasExpectedColumns) {
+  const ElementSet elements = MakeElementSet({1.0, 2.0}, {0.5, 0.5},
+                                             {1.0, 4.0});
+  const std::string csv = PlanToCsv(elements, {2.0, 0.0});
+  EXPECT_NE(csv.find("element,frequency,interval,bandwidth"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,2,0.5,2"), std::string::npos);
+  EXPECT_NE(csv.find("1,0,0,0"), std::string::npos);
+}
+
+TEST(FileIoTest, RoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/freshen_io_test.csv";
+  const ElementSet original = MakeElementSet({2.0, 4.0}, {0.3, 0.7});
+  ASSERT_TRUE(SaveCatalogCsv(original, path).ok());
+  const auto loaded = LoadCatalogCsv(path).value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].change_rate, 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsNotFound) {
+  const auto result = LoadCatalogCsv("/nonexistent/freshen/having.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileIoTest, LoadErrorMentionsPath) {
+  const std::string path = ::testing::TempDir() + "/freshen_bad.csv";
+  ASSERT_TRUE(WriteStringToFile("bogus\n1,2\n", path).ok());
+  const auto result = LoadCatalogCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,224 @@
+// Statistical tests for the workload distributions: moments, supports, and
+// goodness of fit where cheap. Sample sizes and tolerances are chosen so the
+// tests are deterministic (fixed seeds) and robust.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "rng/zipf.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+TEST(NormalTest, MomentsMatch) {
+  Rng rng(21);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(SampleStandardNormal(rng));
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.01);
+}
+
+TEST(ExponentialTest, MeanMatchesRate) {
+  Rng rng(22);
+  for (double rate : {0.5, 1.0, 4.0}) {
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i) {
+      const double x = SampleExponential(rng, rate);
+      EXPECT_GT(x, 0.0);
+      stats.Add(x);
+    }
+    EXPECT_NEAR(stats.Mean(), 1.0 / rate, 0.02 / rate) << "rate=" << rate;
+  }
+}
+
+TEST(ExponentialTest, Memorylessness) {
+  // P(X > a + b | X > a) == P(X > b): compare tail fractions.
+  Rng rng(23);
+  const double rate = 1.0;
+  int over_1 = 0;
+  int over_2 = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleExponential(rng, rate);
+    if (x > 1.0) ++over_1;
+    if (x > 2.0) ++over_2;
+  }
+  const double p_over_1 = static_cast<double>(over_1) / n;
+  const double p_over_2_given_1 =
+      static_cast<double>(over_2) / static_cast<double>(over_1);
+  EXPECT_NEAR(p_over_2_given_1, p_over_1, 0.01);
+}
+
+class GammaMomentsTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaMomentsTest, MeanAndStdDevMatch) {
+  const auto [mean, stddev] = GetParam();
+  Rng rng(24);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = SampleGammaMeanStdDev(rng, mean, stddev);
+    EXPECT_GT(x, 0.0);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.Mean(), mean, 0.02 * mean);
+  EXPECT_NEAR(stats.StdDev(), stddev, 0.03 * stddev);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperParameterizations, GammaMomentsTest,
+    ::testing::Values(std::make_pair(2.0, 1.0),   // Table 2.
+                      std::make_pair(2.0, 2.0),   // Table 3.
+                      std::make_pair(1.0, 0.5),   // Shape 4.
+                      std::make_pair(0.5, 1.0))); // Shape < 1 branch.
+
+TEST(GammaTest, ShapeScaleParameterization) {
+  Rng rng(25);
+  RunningStats stats;
+  const double shape = 3.0;
+  const double scale = 2.0;
+  for (int i = 0; i < 100000; ++i) stats.Add(SampleGamma(rng, shape, scale));
+  EXPECT_NEAR(stats.Mean(), shape * scale, 0.1);
+  EXPECT_NEAR(stats.Variance(), shape * scale * scale, 0.4);
+}
+
+TEST(ParetoTest, SupportStartsAtScale) {
+  Rng rng(26);
+  const double scale = 0.4;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(SamplePareto(rng, 1.1, scale), scale);
+  }
+}
+
+TEST(ParetoTest, ScaleForMeanGivesRequestedMean) {
+  // Shape 1.1 (the paper's): heavy tail, so the sample mean converges
+  // slowly — use a generous tolerance.
+  const double shape = 1.5;  // Use a lighter tail for the moment check.
+  const double scale = ParetoScaleForMean(shape, 1.0);
+  EXPECT_NEAR(scale, (1.5 - 1.0) / 1.5, 1e-12);
+  Rng rng(27);
+  RunningStats stats;
+  for (int i = 0; i < 2000000; ++i) stats.Add(SamplePareto(rng, shape, scale));
+  EXPECT_NEAR(stats.Mean(), 1.0, 0.05);
+}
+
+TEST(ParetoTest, MedianMatchesClosedForm) {
+  // Median = scale * 2^{1/shape} — robust even for shape 1.1.
+  const double shape = 1.1;
+  const double scale = ParetoScaleForMean(shape, 1.0);
+  Rng rng(28);
+  std::vector<double> samples;
+  samples.reserve(100001);
+  for (int i = 0; i < 100001; ++i) {
+    samples.push_back(SamplePareto(rng, shape, scale));
+  }
+  const double median = Quantile(samples, 0.5);
+  EXPECT_NEAR(median, scale * std::pow(2.0, 1.0 / shape), 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(static_cast<double>(SamplePoisson(rng, mean)));
+  }
+  EXPECT_NEAR(stats.Mean(), mean, 0.02 * mean + 0.01);
+  EXPECT_NEAR(stats.Variance(), mean, 0.05 * mean + 0.02);
+}
+
+// Covers both the inversion branch (< 30) and the PTRS branch (>= 30).
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 25.0, 30.0, 80.0,
+                                           400.0));
+
+TEST(PoissonTest, ZeroMeanIsAlwaysZero) {
+  Rng rng(30);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SamplePoisson(rng, 0.0), 0u);
+}
+
+TEST(ShuffleTest, IsPermutationAndDeterministic) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng rng_a(31);
+  Rng rng_b(31);
+  Shuffle(rng_a, a);
+  Shuffle(rng_b, b);
+  EXPECT_EQ(a, b);
+  std::vector<int> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ShuffleTest, UniformOverPositions) {
+  // Element 0 should land in each of 4 positions ~ 1/4 of the time.
+  Rng rng(32);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int trial = 0; trial < n; ++trial) {
+    std::vector<int> v{0, 1, 2, 3};
+    Shuffle(rng, v);
+    for (int pos = 0; pos < 4; ++pos) {
+      if (v[pos] == 0) ++counts[pos];
+    }
+  }
+  for (int pos = 0; pos < 4; ++pos) {
+    EXPECT_NEAR(static_cast<double>(counts[pos]) / n, 0.25, 0.01);
+  }
+}
+
+TEST(ZipfTest, UniformAtThetaZero) {
+  const auto probs = ZipfProbabilities(10, 0.0);
+  for (double p : probs) EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+TEST(ZipfTest, NormalizedAndDecreasing) {
+  for (double theta : {0.5, 1.0, 1.6}) {
+    const auto probs = ZipfProbabilities(1000, theta);
+    EXPECT_NEAR(Sum(probs), 1.0, 1e-12) << theta;
+    for (size_t i = 1; i < probs.size(); ++i) {
+      EXPECT_LT(probs[i], probs[i - 1]) << theta;
+    }
+  }
+}
+
+TEST(ZipfTest, PowerLawRatios) {
+  const double theta = 1.2;
+  const auto probs = ZipfProbabilities(100, theta);
+  // p_1 / p_2 = 2^theta, p_1 / p_10 = 10^theta.
+  EXPECT_NEAR(probs[0] / probs[1], std::pow(2.0, theta), 1e-9);
+  EXPECT_NEAR(probs[0] / probs[9], std::pow(10.0, theta), 1e-9);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  // Top-10 mass grows with theta.
+  double prev_top10 = 0.0;
+  for (double theta : {0.0, 0.4, 0.8, 1.2, 1.6}) {
+    const auto probs = ZipfProbabilities(500, theta);
+    double top10 = 0.0;
+    for (int i = 0; i < 10; ++i) top10 += probs[i];
+    EXPECT_GT(top10, prev_top10) << theta;
+    prev_top10 = top10;
+  }
+}
+
+TEST(ZipfTest, HarmonicMatchesDirectSum) {
+  double direct = 0.0;
+  for (int i = 1; i <= 1000; ++i) direct += std::pow(i, -1.3);
+  EXPECT_NEAR(GeneralizedHarmonic(1000, 1.3), direct, 1e-10);
+}
+
+TEST(ZipfTest, LargeNIsStable) {
+  const auto probs = ZipfProbabilities(500000, 1.0);
+  EXPECT_NEAR(Sum(probs), 1.0, 1e-9);
+  EXPECT_GT(probs[0], probs[499999]);
+}
+
+}  // namespace
+}  // namespace freshen

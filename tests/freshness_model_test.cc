@@ -1,0 +1,235 @@
+// Tests for the closed-form freshness model: values, limits, stability,
+// concavity, the marginal kernel g and its inverse, and the age formula
+// (validated against numeric integration).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/freshness.h"
+
+namespace freshen {
+namespace {
+
+TEST(FixedOrderFreshnessTest, KnownValue) {
+  // r = lambda/f = 1: F = 1 - e^{-1} ~= 0.63212.
+  EXPECT_NEAR(FixedOrderFreshness(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+  // r = 2: F = (1 - e^{-2}) / 2.
+  EXPECT_NEAR(FixedOrderFreshness(1.0, 2.0), (1.0 - std::exp(-2.0)) / 2.0,
+              1e-12);
+}
+
+TEST(FixedOrderFreshnessTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(FixedOrderFreshness(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(FixedOrderFreshness(3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FixedOrderFreshness(0.0, 0.0), 1.0);
+}
+
+TEST(FixedOrderFreshnessTest, ApproachesOneForFastSync) {
+  EXPECT_NEAR(FixedOrderFreshness(1e9, 1.0), 1.0, 1e-9);
+}
+
+TEST(FixedOrderFreshnessTest, ApproachesZeroForSlowSync) {
+  EXPECT_LT(FixedOrderFreshness(1e-9, 1.0), 1e-8);
+}
+
+TEST(FixedOrderFreshnessTest, MonotoneIncreasingInFrequency) {
+  double prev = 0.0;
+  for (double f = 0.01; f < 100.0; f *= 1.5) {
+    const double cur = FixedOrderFreshness(f, 2.0);
+    EXPECT_GT(cur, prev) << "f=" << f;
+    prev = cur;
+  }
+}
+
+TEST(FixedOrderFreshnessTest, MonotoneDecreasingInChangeRate) {
+  double prev = 1.1;
+  for (double lambda = 0.01; lambda < 100.0; lambda *= 1.5) {
+    const double cur = FixedOrderFreshness(1.0, lambda);
+    EXPECT_LT(cur, prev) << "lambda=" << lambda;
+    prev = cur;
+  }
+}
+
+TEST(FixedOrderFreshnessTest, StrictlyConcaveInFrequency) {
+  // Midpoint value exceeds the chord for several (f1, f2) pairs.
+  const double lambda = 3.0;
+  for (double f1 = 0.1; f1 < 10.0; f1 *= 2.0) {
+    const double f2 = f1 * 3.0;
+    const double mid = FixedOrderFreshness(0.5 * (f1 + f2), lambda);
+    const double chord = 0.5 * (FixedOrderFreshness(f1, lambda) +
+                                FixedOrderFreshness(f2, lambda));
+    EXPECT_GT(mid, chord) << "f1=" << f1;
+  }
+}
+
+TEST(FixedOrderDerivativeTest, MatchesFiniteDifference) {
+  const double lambda = 2.5;
+  for (double f = 0.05; f < 50.0; f *= 1.7) {
+    const double h = 1e-6 * f;
+    const double numeric = (FixedOrderFreshness(f + h, lambda) -
+                            FixedOrderFreshness(f - h, lambda)) /
+                           (2.0 * h);
+    EXPECT_NEAR(FixedOrderFreshnessDerivative(f, lambda), numeric,
+                1e-6 * std::fabs(numeric) + 1e-12)
+        << "f=" << f;
+  }
+}
+
+TEST(FixedOrderDerivativeTest, LimitAtZeroFrequencyIsOneOverLambda) {
+  EXPECT_DOUBLE_EQ(FixedOrderFreshnessDerivative(0.0, 4.0), 0.25);
+  // Approaching from above.
+  EXPECT_NEAR(FixedOrderFreshnessDerivative(1e-9, 4.0), 0.25, 1e-6);
+}
+
+TEST(FixedOrderDerivativeTest, DecreasingInFrequency) {
+  // At very small f the marginal saturates at 1/lambda to double precision,
+  // so require strict decrease only once f is large enough to matter.
+  double prev = 1e9;
+  for (double f = 0.01; f < 1000.0; f *= 2.0) {
+    const double cur = FixedOrderFreshnessDerivative(f, 1.0);
+    if (f >= 0.1) {
+      EXPECT_LT(cur, prev) << "f=" << f;
+    } else {
+      EXPECT_LE(cur, prev) << "f=" << f;
+    }
+    prev = cur;
+  }
+}
+
+TEST(PoissonSyncFreshnessTest, KnownValuesAndDominance) {
+  EXPECT_DOUBLE_EQ(PoissonSyncFreshness(1.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(PoissonSyncFreshness(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonSyncFreshness(1.0, 0.0), 1.0);
+  // Fixed-order beats Poisson scheduling at every operating point
+  // (regular intervals waste less: Cho & Garcia-Molina's result).
+  for (double f = 0.1; f < 100.0; f *= 2.0) {
+    EXPECT_GT(FixedOrderFreshness(f, 1.0), PoissonSyncFreshness(f, 1.0))
+        << "f=" << f;
+  }
+}
+
+TEST(PolicyFreshnessTest, DispatchesOnPolicy) {
+  EXPECT_DOUBLE_EQ(PolicyFreshness(SyncPolicy::kFixedOrder, 2.0, 2.0),
+                   FixedOrderFreshness(2.0, 2.0));
+  EXPECT_DOUBLE_EQ(PolicyFreshness(SyncPolicy::kPoisson, 2.0, 2.0),
+                   PoissonSyncFreshness(2.0, 2.0));
+}
+
+TEST(MarginalGainGTest, ValuesAndRange) {
+  EXPECT_DOUBLE_EQ(MarginalGainG(0.0), 0.0);
+  // g(1) = 1 - 2/e.
+  EXPECT_NEAR(MarginalGainG(1.0), 1.0 - 2.0 / std::exp(1.0), 1e-14);
+  EXPECT_NEAR(MarginalGainG(700.0), 1.0, 1e-12);
+  for (double r = 1e-9; r < 500.0; r *= 3.0) {
+    const double g = MarginalGainG(r);
+    EXPECT_GT(g, 0.0) << r;
+    // g < 1 mathematically; for r beyond ~37 it rounds to exactly 1.0.
+    if (r < 30.0) {
+      EXPECT_LT(g, 1.0) << r;
+    } else {
+      EXPECT_LE(g, 1.0) << r;
+    }
+  }
+}
+
+TEST(MarginalGainGTest, SeriesMatchesDirectFormAtCrossover) {
+  // The series branch (r < 1e-4) and the direct branch must agree where
+  // they meet.
+  const double r = 1e-4;
+  const double series = MarginalGainG(r * 0.9999999);
+  const double direct = MarginalGainG(r * 1.0000001);
+  // The two points differ by dr = 2e-11; with slope g'(r) ~ r = 1e-4 the
+  // true values differ by ~2e-15, so anything beyond ~3e-15 would indicate a
+  // genuine branch discontinuity.
+  EXPECT_NEAR(series, direct, 3e-15);
+}
+
+TEST(MarginalGainGTest, SmallArgumentQuadratic) {
+  // g(r) ~ r^2/2 for tiny r.
+  EXPECT_NEAR(MarginalGainG(1e-8), 0.5e-16, 1e-22);
+}
+
+TEST(MarginalGainGTest, DerivativeMatchesFiniteDifference) {
+  for (double r = 0.01; r < 50.0; r *= 2.0) {
+    const double h = 1e-6 * r;
+    const double numeric = (MarginalGainG(r + h) - MarginalGainG(r - h)) /
+                           (2.0 * h);
+    EXPECT_NEAR(MarginalGainGPrime(r), numeric,
+                1e-5 * std::fabs(numeric) + 1e-12);
+  }
+}
+
+TEST(InverseMarginalGainGTest, RoundTripAcrossFullRange) {
+  for (double y = 1e-12; y < 1.0; y = y * 3.0 + 1e-14) {
+    if (y >= 1.0) break;
+    const double r = InverseMarginalGainG(y);
+    EXPECT_NEAR(MarginalGainG(r), y, 1e-10 * (1.0 + y))
+        << "y=" << y << " r=" << r;
+  }
+}
+
+TEST(InverseMarginalGainGTest, NearOneBoundary) {
+  const double y = 1.0 - 1e-12;
+  const double r = InverseMarginalGainG(y);
+  EXPECT_GT(r, 20.0);
+  EXPECT_NEAR(MarginalGainG(r), y, 1e-13);
+}
+
+TEST(InverseMarginalGainGTest, MonotoneInY) {
+  double prev = 0.0;
+  for (double y = 0.001; y < 0.999; y += 0.001) {
+    const double r = InverseMarginalGainG(y);
+    EXPECT_GT(r, prev) << "y=" << y;
+    prev = r;
+  }
+}
+
+// Numerically integrate the expected age over one sync interval I:
+// E[age at offset t] = t - (1/l)(1 - e^{-l t}); time-average over [0, I].
+double NumericAge(double f, double lambda) {
+  const double interval = 1.0 / f;
+  const int steps = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t = (i + 0.5) * interval / steps;
+    sum += t - (1.0 - std::exp(-lambda * t)) / lambda;
+  }
+  return sum / steps;
+}
+
+TEST(FixedOrderAgeTest, MatchesNumericIntegration) {
+  for (double f : {0.5, 1.0, 2.0, 8.0}) {
+    for (double lambda : {0.2, 1.0, 3.0}) {
+      EXPECT_NEAR(FixedOrderAge(f, lambda), NumericAge(f, lambda),
+                  1e-6 * (1.0 + NumericAge(f, lambda)))
+          << "f=" << f << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(FixedOrderAgeTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(FixedOrderAge(1.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(FixedOrderAge(0.0, 1.0)));
+}
+
+TEST(FixedOrderAgeTest, SeriesBranchContinuity) {
+  // x = lambda/f crosses 0.5 smoothly.
+  const double lambda = 1.0;
+  const double below = FixedOrderAge(lambda / 0.4999999, lambda);
+  const double above = FixedOrderAge(lambda / 0.5000001, lambda);
+  // The evaluation points themselves differ by df ~ 8e-7 with slope
+  // dA/df ~ 0.07, so allow ~1e-7; a branch mismatch would be far larger.
+  EXPECT_NEAR(below, above, 2e-7);
+}
+
+TEST(FixedOrderAgeTest, DecreasingInFrequency) {
+  double prev = 1e300;
+  for (double f = 0.1; f < 100.0; f *= 2.0) {
+    const double cur = FixedOrderAge(f, 2.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,139 @@
+// Tests for the generic projected-gradient NLP baseline: the budget
+// projection, agreement with the exact KKT solver on small instances, and
+// budget-limited behavior.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "opt/generic_nlp.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+TEST(ProjectionTest, AlreadyFeasiblePointUnchanged) {
+  const std::vector<double> point = {1.0, 2.0, 1.0};
+  const std::vector<double> costs = {1.0, 1.0, 1.0};
+  const auto projected = ProjectOntoBudget(point, costs, 4.0);
+  for (size_t i = 0; i < point.size(); ++i) {
+    EXPECT_NEAR(projected[i], point[i], 1e-9);
+  }
+}
+
+TEST(ProjectionTest, MeetsBudgetExactly) {
+  const std::vector<double> point = {10.0, 0.1, 3.0};
+  const std::vector<double> costs = {1.0, 2.0, 0.5};
+  const auto projected = ProjectOntoBudget(point, costs, 2.0);
+  double spend = 0.0;
+  for (size_t i = 0; i < point.size(); ++i) {
+    EXPECT_GE(projected[i], 0.0);
+    spend += costs[i] * projected[i];
+  }
+  EXPECT_NEAR(spend, 2.0, 1e-9);
+}
+
+TEST(ProjectionTest, ClampsNegativeCoordinates) {
+  const std::vector<double> point = {-5.0, 4.0};
+  const std::vector<double> costs = {1.0, 1.0};
+  const auto projected = ProjectOntoBudget(point, costs, 2.0);
+  EXPECT_DOUBLE_EQ(projected[0], 0.0);
+  EXPECT_NEAR(projected[1], 2.0, 1e-9);
+}
+
+TEST(ProjectionTest, IsNearestFeasiblePoint) {
+  // For equal costs the projection is the Euclidean simplex projection:
+  // verify against the direct shift formula when all stay positive.
+  const std::vector<double> point = {3.0, 5.0};
+  const std::vector<double> costs = {1.0, 1.0};
+  const auto projected = ProjectOntoBudget(point, costs, 6.0);
+  // Shift each by (8 - 6) / 2 = 1.
+  EXPECT_NEAR(projected[0], 2.0, 1e-9);
+  EXPECT_NEAR(projected[1], 4.0, 1e-9);
+}
+
+TEST(GenericNlpTest, MatchesKktSolverOnToyExample) {
+  const ElementSet elements = MakeElementSet(
+      {1.0, 2.0, 3.0, 4.0, 5.0},
+      {5.0 / 15, 4.0 / 15, 3.0 / 15, 2.0 / 15, 1.0 / 15});
+  const CoreProblem problem = MakePerceivedProblem(elements, 5.0, false);
+
+  const Allocation exact = KktWaterFillingSolver().Solve(problem).value();
+  GenericNlpSolver::Options options;
+  options.gradient_mode = GenericNlpSolver::GradientMode::kAnalytic;
+  options.max_iterations = 20000;
+  options.time_budget_seconds = 20.0;
+  const Allocation approx = GenericNlpSolver(options).Solve(problem).value();
+
+  EXPECT_TRUE(approx.converged);
+  EXPECT_NEAR(approx.objective, exact.objective, 1e-5);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_NEAR(approx.frequencies[i], exact.frequencies[i], 0.02)
+        << "element " << i;
+  }
+}
+
+TEST(GenericNlpTest, FiniteDifferenceModeAlsoConverges) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0, 3.0}, {0.5, 0.3, 0.2});
+  const CoreProblem problem = MakePerceivedProblem(elements, 3.0, false);
+  const Allocation exact = KktWaterFillingSolver().Solve(problem).value();
+  GenericNlpSolver::Options options;
+  options.gradient_mode = GenericNlpSolver::GradientMode::kFiniteDifference;
+  options.max_iterations = 20000;
+  options.time_budget_seconds = 20.0;
+  const Allocation approx = GenericNlpSolver(options).Solve(problem).value();
+  EXPECT_NEAR(approx.objective, exact.objective, 1e-4);
+}
+
+TEST(GenericNlpTest, SizeAwareConstraintRespected) {
+  const ElementSet elements =
+      MakeElementSet({2.0, 2.0}, {0.5, 0.5}, {1.0, 4.0});
+  const CoreProblem problem = MakePerceivedProblem(elements, 4.0, true);
+  GenericNlpSolver::Options options;
+  options.gradient_mode = GenericNlpSolver::GradientMode::kAnalytic;
+  const Allocation approx = GenericNlpSolver(options).Solve(problem).value();
+  EXPECT_NEAR(approx.bandwidth_used, 4.0, 1e-6);
+  EXPECT_GT(approx.frequencies[0], approx.frequencies[1]);
+}
+
+TEST(GenericNlpTest, TimeBudgetStopsEarly) {
+  // A big instance with an effectively-zero time budget must return a
+  // feasible (if unconverged) allocation immediately.
+  std::vector<double> rates(2000);
+  std::vector<double> probs(2000);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    rates[i] = 0.5 + static_cast<double>(i % 17);
+    probs[i] = 1.0 / 2000.0;
+  }
+  const ElementSet elements = MakeElementSet(rates, probs);
+  const CoreProblem problem = MakePerceivedProblem(elements, 500.0, false);
+  GenericNlpSolver::Options options;
+  options.time_budget_seconds = 0.0;
+  const Allocation allocation = GenericNlpSolver(options).Solve(problem).value();
+  EXPECT_FALSE(allocation.converged);
+  EXPECT_NEAR(allocation.bandwidth_used, 500.0, 1e-6);
+  EXPECT_EQ(allocation.iterations, 0);
+}
+
+TEST(GenericNlpTest, RejectsInvalidProblems) {
+  CoreProblem empty;
+  empty.bandwidth = 1.0;
+  EXPECT_FALSE(GenericNlpSolver().Solve(empty).ok());
+}
+
+TEST(GenericNlpTest, ObjectiveNeverBeatsExactOptimum) {
+  const ElementSet elements = MakeElementSet(
+      {0.5, 1.5, 2.5, 3.5}, {0.4, 0.1, 0.3, 0.2});
+  const CoreProblem problem = MakePerceivedProblem(elements, 2.0, false);
+  const Allocation exact = KktWaterFillingSolver().Solve(problem).value();
+  GenericNlpSolver::Options options;
+  options.gradient_mode = GenericNlpSolver::GradientMode::kAnalytic;
+  const Allocation approx = GenericNlpSolver(options).Solve(problem).value();
+  EXPECT_LE(approx.objective, exact.objective + 1e-9);
+}
+
+}  // namespace
+}  // namespace freshen

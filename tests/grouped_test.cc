@@ -1,0 +1,180 @@
+// Tests for grouped (per-server) bandwidth allocation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "opt/grouped.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "rng/rng.h"
+
+namespace freshen {
+namespace {
+
+// Two servers: elements 0-2 on server 0, elements 3-5 on server 1.
+GroupedProblem TwoServerProblem(double b0, double b1) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0, 3.0, 1.0, 2.0, 3.0},
+                     {0.30, 0.20, 0.10, 0.05, 0.15, 0.20});
+  GroupedProblem problem;
+  problem.base = MakePerceivedProblem(elements, 0.0, false);
+  problem.group = {0, 0, 0, 1, 1, 1};
+  problem.group_budgets = {b0, b1};
+  return problem;
+}
+
+TEST(GroupedTest, RespectsEveryGroupBudget) {
+  const auto allocation = SolveGrouped(TwoServerProblem(2.0, 3.0)).value();
+  EXPECT_NEAR(allocation.group_spend[0], 2.0, 1e-9);
+  EXPECT_NEAR(allocation.group_spend[1], 3.0, 1e-9);
+  // No cross-group leakage.
+  double spend0 = 0.0;
+  for (int i = 0; i < 3; ++i) spend0 += allocation.frequencies[i];
+  EXPECT_NEAR(spend0, 2.0, 1e-9);
+}
+
+TEST(GroupedTest, StarvedGroupHasHigherMultiplier) {
+  // Same elements, wildly asymmetric budgets: the starved server's marginal
+  // value of bandwidth must exceed the rich server's.
+  const auto allocation = SolveGrouped(TwoServerProblem(0.2, 5.0)).value();
+  EXPECT_GT(allocation.group_multipliers[0],
+            allocation.group_multipliers[1]);
+}
+
+TEST(GroupedTest, PooledDominatesAnyFixedSplit) {
+  const GroupedProblem grouped = TwoServerProblem(1.0, 4.0);
+  CoreProblem pooled = grouped.base;
+  pooled.bandwidth = 5.0;
+  const double pooled_objective =
+      KktWaterFillingSolver().Solve(pooled).value().objective;
+  for (double b0 : {0.5, 1.0, 2.5, 4.0}) {
+    const auto allocation =
+        SolveGrouped(TwoServerProblem(b0, 5.0 - b0)).value();
+    EXPECT_LE(allocation.objective, pooled_objective + 1e-9) << b0;
+  }
+}
+
+TEST(GroupedTest, PooledOptimalSplitReproducesPooledOptimum) {
+  const GroupedProblem grouped = TwoServerProblem(1.0, 4.0);
+  const auto split = PooledOptimalSplit(grouped).value();
+  EXPECT_NEAR(split[0] + split[1], 5.0, 1e-9);
+
+  GroupedProblem rebalanced = grouped;
+  rebalanced.group_budgets = split;
+  const auto allocation = SolveGrouped(rebalanced).value();
+
+  CoreProblem pooled = grouped.base;
+  pooled.bandwidth = 5.0;
+  const double pooled_objective =
+      KktWaterFillingSolver().Solve(pooled).value().objective;
+  EXPECT_NEAR(allocation.objective, pooled_objective, 1e-8);
+  // At the optimal split the marginal values equalize.
+  EXPECT_NEAR(allocation.group_multipliers[0],
+              allocation.group_multipliers[1],
+              1e-5 * allocation.group_multipliers[0]);
+}
+
+TEST(GroupedTest, ZeroBudgetGroupGetsNothing) {
+  const auto allocation = SolveGrouped(TwoServerProblem(0.0, 3.0)).value();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(allocation.frequencies[i], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(allocation.group_spend[0], 0.0);
+  EXPECT_NEAR(allocation.group_spend[1], 3.0, 1e-9);
+}
+
+TEST(GroupedTest, SingleGroupEqualsPlainSolve) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0, 3.0}, {0.5, 0.3, 0.2});
+  GroupedProblem grouped;
+  grouped.base = MakePerceivedProblem(elements, 0.0, false);
+  grouped.group = {0, 0, 0};
+  grouped.group_budgets = {2.0};
+  const auto grouped_allocation = SolveGrouped(grouped).value();
+
+  CoreProblem plain = MakePerceivedProblem(elements, 2.0, false);
+  const Allocation plain_allocation =
+      KktWaterFillingSolver().Solve(plain).value();
+  for (size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_NEAR(grouped_allocation.frequencies[i],
+                plain_allocation.frequencies[i], 1e-9);
+  }
+}
+
+TEST(GroupedTest, RejectsMalformedInput) {
+  GroupedProblem problem = TwoServerProblem(1.0, 1.0);
+  problem.group = {0, 0, 0};  // Wrong length.
+  EXPECT_FALSE(SolveGrouped(problem).ok());
+
+  problem = TwoServerProblem(1.0, 1.0);
+  problem.group[0] = 7;  // Out of range.
+  EXPECT_FALSE(SolveGrouped(problem).ok());
+
+  problem = TwoServerProblem(1.0, 1.0);
+  problem.group_budgets = {1.0, -1.0};
+  EXPECT_FALSE(SolveGrouped(problem).ok());
+
+  problem = TwoServerProblem(1.0, 1.0);
+  problem.group_budgets = {};
+  EXPECT_FALSE(SolveGrouped(problem).ok());
+
+  GroupedProblem empty;
+  EXPECT_FALSE(SolveGrouped(empty).ok());
+
+  problem = TwoServerProblem(0.0, 0.0);
+  EXPECT_FALSE(PooledOptimalSplit(problem).ok());
+}
+
+class GroupedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupedPropertyTest, RandomSplitsNeverBeatPooled) {
+  const int key = GetParam();
+  Rng rng(static_cast<uint64_t>(key) * 101 + 3);
+  const size_t n = 40;
+  const size_t num_groups = 4;
+  std::vector<double> rates(n);
+  std::vector<double> probs(n);
+  GroupedProblem problem;
+  problem.group.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    rates[i] = rng.NextDoubleIn(0.1, 8.0);
+    probs[i] = rng.NextDoubleIn(0.01, 1.0);
+    problem.group[i] = static_cast<uint32_t>(rng.NextUint64Below(num_groups));
+  }
+  const ElementSet elements = MakeElementSet(rates, probs);
+  problem.base = MakePerceivedProblem(elements, 0.0, false);
+
+  const double total = 15.0;
+  CoreProblem pooled = problem.base;
+  pooled.bandwidth = total;
+  const double pooled_objective =
+      KktWaterFillingSolver().Solve(pooled).value().objective;
+
+  // Random Dirichlet-ish splits.
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> shares(num_groups);
+    double share_total = 0.0;
+    for (double& share : shares) {
+      share = rng.NextDoubleIn(0.05, 1.0);
+      share_total += share;
+    }
+    problem.group_budgets.clear();
+    for (double share : shares) {
+      problem.group_budgets.push_back(total * share / share_total);
+    }
+    const auto allocation = SolveGrouped(problem).value();
+    EXPECT_LE(allocation.objective, pooled_objective + 1e-9)
+        << "key=" << key << " trial=" << trial;
+  }
+
+  // And the pooled-induced split achieves it.
+  problem.group_budgets = PooledOptimalSplit(problem).value();
+  const auto best = SolveGrouped(problem).value();
+  EXPECT_NEAR(best.objective, pooled_objective, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, GroupedPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace freshen

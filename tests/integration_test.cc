@@ -1,0 +1,286 @@
+// Integration tests: miniature versions of every paper experiment, each
+// asserting the qualitative result the corresponding figure/table shows.
+// The benches print the full series; these tests keep the claims true.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "profile/profile.h"
+#include "model/metrics.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "partition/kmeans.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+double PlanPf(const ElementSet& elements, double bandwidth,
+              const PlannerOptions& options) {
+  return FreshenPlanner(options)
+      .Plan(elements, bandwidth)
+      .value()
+      .perceived_freshness;
+}
+
+// ---- Table 1 is covered in water_filling_test.cc ----
+
+// ---- Figure 1: solution locus shape ----
+TEST(Fig1Integration, BandwidthGrowsWithAccessProbability) {
+  // On the optimal locus, for the same lambda, higher p gets higher f.
+  const ElementSet elements =
+      MakeElementSet({2.0, 2.0, 2.0}, {0.1, 0.2, 0.4});
+  const auto allocation =
+      KktWaterFillingSolver()
+          .Solve(MakePerceivedProblem(elements, 3.0, false))
+          .value();
+  EXPECT_LT(allocation.frequencies[0], allocation.frequencies[1]);
+  EXPECT_LT(allocation.frequencies[1], allocation.frequencies[2]);
+}
+
+TEST(Fig1Integration, VolatileUnpopularElementsGetNothing) {
+  // "an element with lambda large does not get any bandwidth when p small;
+  // it requires significant bandwidth as p grows."
+  const ElementSet elements =
+      MakeElementSet({8.0, 8.0, 0.5, 0.5}, {0.05, 0.45, 0.05, 0.45});
+  const auto allocation =
+      KktWaterFillingSolver()
+          .Solve(MakePerceivedProblem(elements, 2.0, false))
+          .value();
+  EXPECT_DOUBLE_EQ(allocation.frequencies[0], 0.0);  // Volatile + unpopular.
+  EXPECT_GT(allocation.frequencies[1], 0.4);         // Volatile + popular.
+}
+
+// ---- Figure 3: PF vs GF across skew and alignment ----
+class Fig3Integration : public ::testing::TestWithParam<Alignment> {};
+
+TEST_P(Fig3Integration, PfGapGrowsWithSkew) {
+  double prev_gap = -1e-9;
+  for (double theta : {0.0, 0.8, 1.6}) {
+    ExperimentSpec spec = ExperimentSpec::IdealCase();
+    spec.num_objects = 250;
+    spec.syncs_per_period = 125.0;
+    spec.theta = theta;
+    spec.alignment = GetParam();
+    const ElementSet elements = GenerateCatalog(spec).value();
+    PlannerOptions gf;
+    gf.technique = Technique::kGeneral;
+    const double gap = PlanPf(elements, 125.0, {}) -
+                       PlanPf(elements, 125.0, gf);
+    EXPECT_GE(gap, prev_gap - 0.02) << "theta=" << theta;
+    if (theta == 0.0) {
+      EXPECT_NEAR(gap, 0.0, 1e-9);
+    }
+    prev_gap = gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, Fig3Integration,
+                         ::testing::Values(Alignment::kAligned,
+                                           Alignment::kReverse,
+                                           Alignment::kShuffled));
+
+TEST(Fig3Integration, AlignedGfCollapsesAtHighSkew) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.6;
+  spec.alignment = Alignment::kAligned;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  PlannerOptions gf;
+  gf.technique = Technique::kGeneral;
+  EXPECT_LT(PlanPf(elements, spec.syncs_per_period, gf), 0.05);
+  EXPECT_GT(PlanPf(elements, spec.syncs_per_period, {}), 0.5);
+}
+
+// ---- Figure 5: partitioning quality ordering ----
+TEST(Fig5Integration, LambdaPartitioningTrailsUnderShuffledChange) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.0;
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  auto pf_for_key = [&](PartitionKey key) {
+    PlannerOptions options;
+    options.mode = PlanMode::kPartitioned;
+    options.partition_key = key;
+    options.num_partitions = 50;
+    return PlanPf(elements, spec.syncs_per_period, options);
+  };
+  const double pf_part = pf_for_key(PartitionKey::kPerceivedFreshness);
+  const double lambda_part = pf_for_key(PartitionKey::kChangeRate);
+  EXPECT_GT(pf_part, lambda_part + 0.05);
+}
+
+TEST(Fig5Integration, TechniquesNearlyIdenticalUnderAlignedCase) {
+  // "there is little difference between the techniques in Figures 5(b) and
+  // 5(c)".
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.0;
+  spec.alignment = Alignment::kAligned;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  std::vector<double> results;
+  for (PartitionKey key :
+       {PartitionKey::kPerceivedFreshness, PartitionKey::kAccessProb,
+        PartitionKey::kChangeRate, PartitionKey::kProbOverLambda}) {
+    PlannerOptions options;
+    options.mode = PlanMode::kPartitioned;
+    options.partition_key = key;
+    options.num_partitions = 50;
+    results.push_back(PlanPf(elements, spec.syncs_per_period, options));
+  }
+  for (double r : results) EXPECT_NEAR(r, results[0], 0.02);
+}
+
+// ---- Figure 7: scalable case sanity (downscaled) ----
+TEST(Fig7Integration, PfPartitioningWinsOnBigStyleWorkload) {
+  ExperimentSpec spec = ExperimentSpec::BigCase();
+  spec.num_objects = 20000;
+  spec.syncs_per_period = 10000.0;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  auto pf_for_key = [&](PartitionKey key) {
+    PlannerOptions options;
+    options.mode = PlanMode::kPartitioned;
+    options.partition_key = key;
+    options.num_partitions = 100;
+    return PlanPf(elements, spec.syncs_per_period, options);
+  };
+  const double pf_part = pf_for_key(PartitionKey::kPerceivedFreshness);
+  EXPECT_GT(pf_part, pf_for_key(PartitionKey::kChangeRate));
+  EXPECT_GT(pf_part, pf_for_key(PartitionKey::kProbOverLambda));
+}
+
+// ---- Figures 8/9: k-means refinement ----
+TEST(Fig8Integration, OneIterationDeliversMostOfTheGain) {
+  ExperimentSpec spec = ExperimentSpec::BigCase();
+  spec.num_objects = 20000;
+  spec.syncs_per_period = 10000.0;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  auto pf_at = [&](int iterations) {
+    PlannerOptions options;
+    options.mode = PlanMode::kPartitioned;
+    options.partition_key = PartitionKey::kPerceivedFreshness;
+    options.num_partitions = 40;
+    options.kmeans_iterations = iterations;
+    return PlanPf(elements, spec.syncs_per_period, options);
+  };
+  const double pf0 = pf_at(0);
+  const double pf1 = pf_at(1);
+  const double pf10 = pf_at(10);
+  EXPECT_GT(pf1, pf0);
+  EXPECT_GE(pf10, pf1 - 1e-6);
+  // The first iteration captures over half the total k-means gain.
+  EXPECT_GT(pf1 - pf0, 0.5 * (pf10 - pf0));
+}
+
+// ---- Figure 10: object sizes ----
+TEST(Fig10Integration, ParetoBuysMoreSyncsForSameBandwidth) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 0.0;
+  spec.alignment = Alignment::kAligned;
+  spec.size_alignment = SizeAlignment::kAligned;
+  spec.size_model = SizeModel::kPareto;
+  const ElementSet pareto = GenerateCatalog(spec).value();
+  spec.size_model = SizeModel::kUniform;
+  const ElementSet uniform = GenerateCatalog(spec).value();
+
+  PlannerOptions aware;
+  aware.size_aware = true;
+  const FreshenPlan pareto_plan =
+      FreshenPlanner(aware).Plan(pareto, 250.0).value();
+  const FreshenPlan uniform_plan =
+      FreshenPlanner(aware).Plan(uniform, 250.0).value();
+  double pareto_syncs = 0.0;
+  double uniform_syncs = 0.0;
+  for (double f : pareto_plan.frequencies) pareto_syncs += f;
+  for (double f : uniform_plan.frequencies) uniform_syncs += f;
+  EXPECT_GT(pareto_syncs, uniform_syncs * 1.5);
+  EXPECT_NEAR(pareto_plan.bandwidth_used, uniform_plan.bandwidth_used, 1e-6);
+}
+
+TEST(Fig10Integration, SyncResourcesGoToLowChangeRatePages) {
+  // Uniform access: the classic [5] result that bandwidth concentrates on
+  // the slowest-changing pages (and the fastest changers get zero).
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 0.0;
+  spec.alignment = Alignment::kAligned;  // Element 0 changes fastest.
+  const ElementSet elements = GenerateCatalog(spec).value();
+  const FreshenPlan plan = FreshenPlanner({}).Plan(elements, 250.0).value();
+  EXPECT_DOUBLE_EQ(plan.frequencies.front(), 0.0);
+  EXPECT_GT(plan.frequencies[400], 0.0);
+}
+
+// ---- Figure 11: FBA vs FFA ----
+TEST(Fig11Integration, FbaBeatsFfaAtEveryPartitionCount) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.0;
+  spec.alignment = Alignment::kAligned;
+  spec.size_model = SizeModel::kPareto;
+  spec.size_alignment = SizeAlignment::kReverse;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  for (size_t k : {10u, 50u, 150u}) {
+    PlannerOptions options;
+    options.mode = PlanMode::kPartitioned;
+    options.partition_key = PartitionKey::kPerceivedFreshnessSize;
+    options.num_partitions = k;
+    options.size_aware = true;
+    options.allocation_policy = AllocationPolicy::kFixedBandwidth;
+    const double fba = PlanPf(elements, spec.syncs_per_period, options);
+    options.allocation_policy = AllocationPolicy::kFixedFrequency;
+    const double ffa = PlanPf(elements, spec.syncs_per_period, options);
+    EXPECT_GE(fba, ffa - 1e-9) << "k=" << k;
+  }
+}
+
+// ---- End-to-end: plan -> simulate agrees with the analytic claim ----
+TEST(EndToEndIntegration, SimulatorConfirmsPartitionedPlanQuality) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 120;
+  spec.syncs_per_period = 60.0;
+  spec.theta = 1.0;
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  PlannerOptions options;
+  options.mode = PlanMode::kPartitioned;
+  options.num_partitions = 20;
+  options.kmeans_iterations = 5;
+  const FreshenPlan plan =
+      FreshenPlanner(options).Plan(elements, 60.0).value();
+  SimulationConfig config;
+  config.horizon_periods = 300.0;
+  config.accesses_per_period = 2000.0;
+  config.warmup_periods = 20.0;
+  const SimulationResult result =
+      MirrorSimulator(elements, config).Run(plan.frequencies).value();
+  EXPECT_NEAR(result.empirical_perceived_freshness, plan.perceived_freshness,
+              0.02);
+}
+
+// ---- Weighted profiles (paper §2: "generals or higher paying customers") --
+TEST(WeightedProfileIntegration, ImportantUsersSteerTheSchedule) {
+  // Two user populations with opposite interests over a 4-element mirror.
+  const auto traders = UserProfile::FromWeights({8.0, 2.0, 0.0, 0.0}).value();
+  const auto archivists =
+      UserProfile::FromWeights({0.0, 0.0, 2.0, 8.0}).value();
+  const ElementSet base = MakeElementSet({3.0, 2.0, 2.0, 3.0},
+                                         {0.25, 0.25, 0.25, 0.25});
+  auto plan_for = [&](double trader_weight) {
+    const auto master =
+        AggregateProfiles({traders, archivists}, {trader_weight, 1.0})
+            .value();
+    ElementSet mirror = base;
+    for (size_t i = 0; i < mirror.size(); ++i) {
+      mirror[i].access_prob = master[i];
+    }
+    return FreshenPlanner({}).Plan(mirror, 3.0).value();
+  };
+  const FreshenPlan trader_heavy = plan_for(9.0);
+  const FreshenPlan archivist_heavy = plan_for(1.0 / 9.0);
+  // Element 0 (the traders' favourite) gets more bandwidth when traders
+  // carry more weight, and vice versa for element 3.
+  EXPECT_GT(trader_heavy.frequencies[0], archivist_heavy.frequencies[0]);
+  EXPECT_LT(trader_heavy.frequencies[3], archivist_heavy.frequencies[3]);
+}
+
+}  // namespace
+}  // namespace freshen

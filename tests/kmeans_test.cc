@@ -1,0 +1,168 @@
+// Tests for the k-means partition refiner: invariants (coverage, distortion
+// never increases), convergence, empty-cluster handling, and the refinement
+// actually improving the freshening objective on a realistic workload.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "model/element.h"
+#include "partition/kmeans.h"
+#include "partition/partitioner.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+ElementSet TestCatalog(size_t n = 200) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = n;
+  spec.alignment = Alignment::kShuffled;
+  return GenerateCatalog(spec).value();
+}
+
+TEST(KMeansTest, ZeroIterationsPreservesPartitions) {
+  const ElementSet elements = TestCatalog();
+  const auto initial =
+      BuildPartitions(elements, PartitionKey::kPerceivedFreshness, 10).value();
+  KMeansRefiner refiner(elements, {});
+  const auto refined = refiner.Refine(initial, 0).value();
+  ASSERT_EQ(refined.size(), initial.size());
+  for (size_t j = 0; j < initial.size(); ++j) {
+    EXPECT_EQ(refined[j].members.size(), initial[j].members.size());
+  }
+}
+
+TEST(KMeansTest, EveryElementStaysCoveredExactlyOnce) {
+  const ElementSet elements = TestCatalog();
+  const auto initial =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 12).value();
+  KMeansRefiner refiner(elements, {});
+  const auto refined = refiner.Refine(initial, 5).value();
+  std::set<size_t> seen;
+  for (const auto& part : refined) {
+    EXPECT_FALSE(part.members.empty());
+    for (size_t i : part.members) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), elements.size());
+}
+
+TEST(KMeansTest, DistortionNeverIncreasesWithIterations) {
+  const ElementSet elements = TestCatalog(400);
+  const auto initial =
+      BuildPartitions(elements, PartitionKey::kPerceivedFreshness, 15).value();
+  KMeansRefiner refiner(elements, {});
+  double prev = refiner.Distortion(initial);
+  for (int iters : {1, 2, 3, 5, 8}) {
+    const auto refined = refiner.Refine(initial, iters).value();
+    const double cur = refiner.Distortion(refined);
+    EXPECT_LE(cur, prev + 1e-12) << "iters=" << iters;
+    prev = cur;
+  }
+}
+
+TEST(KMeansTest, ConvergesOnSeparatedClusters) {
+  // Two well-separated blobs must be recovered regardless of a bad start.
+  ElementSet elements;
+  for (int i = 0; i < 20; ++i) {
+    Element e;
+    e.access_prob = 0.001 + 1e-6 * i;
+    e.change_rate = 1.0 + 1e-3 * i;
+    elements.push_back(e);
+  }
+  for (int i = 0; i < 20; ++i) {
+    Element e;
+    e.access_prob = 0.049 - 1e-6 * i;
+    e.change_rate = 9.0 - 1e-3 * i;
+    elements.push_back(e);
+  }
+  // Bad but non-degenerate initial split: 30 / 10. (A perfectly symmetric
+  // interleaved split would give both clusters identical centroids — a
+  // stationary point Lloyd correctly never leaves.)
+  std::vector<Partition> initial(2);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    initial[i < 30 ? 0 : 1].members.push_back(i);
+  }
+  for (auto& part : initial) RecomputeRepresentative(elements, part);
+
+  KMeansRefiner refiner(elements, {});
+  const auto refined = refiner.Refine(initial, 20).value();
+  ASSERT_EQ(refined.size(), 2u);
+  // Each cluster should be one blob: all members on the same side.
+  for (const auto& part : refined) {
+    const bool first_low = part.members[0] < 20;
+    for (size_t i : part.members) {
+      EXPECT_EQ(i < 20, first_low);
+    }
+  }
+}
+
+TEST(KMeansTest, RefinementImprovesPerceivedFreshness) {
+  // The paper's headline §4.1.3 result: a few iterations of k-means on top
+  // of PF-partitioning improve perceived freshness.
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet elements = GenerateCatalog(spec).value();
+
+  PlannerOptions base;
+  base.mode = PlanMode::kPartitioned;
+  base.partition_key = PartitionKey::kPerceivedFreshness;
+  base.num_partitions = 20;
+  base.kmeans_iterations = 0;
+  const double pf0 = FreshenPlanner(base)
+                         .Plan(elements, spec.syncs_per_period)
+                         .value()
+                         .perceived_freshness;
+
+  base.kmeans_iterations = 10;
+  const double pf10 = FreshenPlanner(base)
+                          .Plan(elements, spec.syncs_per_period)
+                          .value()
+                          .perceived_freshness;
+  EXPECT_GT(pf10, pf0);
+}
+
+TEST(KMeansTest, RejectsMalformedInitialPartitions) {
+  const ElementSet elements = TestCatalog(50);
+  KMeansRefiner refiner(elements, {});
+  EXPECT_FALSE(refiner.Refine({}, 3).ok());
+
+  // Duplicated member.
+  std::vector<Partition> dup(1);
+  dup[0].members = {0, 0};
+  EXPECT_FALSE(refiner.Refine(dup, 1).ok());
+
+  // Missing members.
+  std::vector<Partition> partial(1);
+  partial[0].members = {0, 1, 2};
+  EXPECT_FALSE(refiner.Refine(partial, 1).ok());
+
+  const auto initial =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 4).value();
+  EXPECT_FALSE(refiner.Refine(initial, -1).ok());
+}
+
+TEST(KMeansTest, NormalizationOptionChangesClustering) {
+  // With raw lambda (no normalization) the lambda axis dominates; the
+  // option must have an observable effect on some workload.
+  const ElementSet elements = TestCatalog(300);
+  const auto initial =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 8).value();
+  KMeansRefiner sum_norm(
+      elements, {.lambda_normalization = LambdaNormalization::kSumToOne});
+  KMeansRefiner raw(elements,
+                    {.lambda_normalization = LambdaNormalization::kNone});
+  const auto a = sum_norm.Refine(initial, 5).value();
+  const auto b = raw.Refine(initial, 5).value();
+  // Compare the multisets of cluster sizes; they should differ.
+  std::multiset<size_t> sizes_a;
+  std::multiset<size_t> sizes_b;
+  for (const auto& part : a) sizes_a.insert(part.members.size());
+  for (const auto& part : b) sizes_b.insert(part.members.size());
+  EXPECT_NE(sizes_a, sizes_b);
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,85 @@
+// Tests for analytic metric evaluation (perceived/general freshness, age,
+// bandwidth accounting).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "model/freshness.h"
+#include "model/metrics.h"
+
+namespace freshen {
+namespace {
+
+TEST(PerceivedFreshnessTest, WeightsBySumOfAccessProbs) {
+  const ElementSet elements = MakeElementSet({1.0, 1.0}, {0.9, 0.1});
+  // Element 0 perfectly fresh (huge f), element 1 never synced.
+  const double pf = PerceivedFreshness(elements, {1e12, 0.0});
+  EXPECT_NEAR(pf, 0.9, 1e-9);
+}
+
+TEST(PerceivedFreshnessTest, UnaccessedElementIrrelevant) {
+  // "If a given item is never accessed, it does not contribute … regardless
+  // of how stale its value is."
+  const ElementSet a = MakeElementSet({1.0, 50.0}, {1.0, 0.0});
+  const ElementSet b = MakeElementSet({1.0, 0.001}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(PerceivedFreshness(a, {2.0, 0.0}),
+                   PerceivedFreshness(b, {2.0, 0.0}));
+}
+
+TEST(PerceivedFreshnessTest, EqualsGeneralUnderUniformProfile) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0, 3.0, 4.0}, {0.25, 0.25, 0.25, 0.25});
+  const std::vector<double> freqs = {1.0, 0.5, 2.0, 0.0};
+  EXPECT_NEAR(PerceivedFreshness(elements, freqs),
+              GeneralFreshness(elements, freqs), 1e-12);
+}
+
+TEST(GeneralFreshnessTest, AveragesElementFreshness) {
+  const ElementSet elements = MakeElementSet({1.0, 1.0}, {0.9, 0.1});
+  const double gf = GeneralFreshness(elements, {1e12, 0.0});
+  EXPECT_NEAR(gf, 0.5, 1e-9);
+}
+
+TEST(GeneralFreshnessTest, PolicyParameterRespected) {
+  const ElementSet elements = MakeElementSet({2.0}, {1.0});
+  EXPECT_DOUBLE_EQ(GeneralFreshness(elements, {1.0}, SyncPolicy::kPoisson),
+                   PoissonSyncFreshness(1.0, 2.0));
+}
+
+TEST(PerceivedAgeTest, ZeroWhenAlwaysFresh) {
+  const ElementSet elements = MakeElementSet({0.0}, {1.0});
+  EXPECT_DOUBLE_EQ(PerceivedAge(elements, {0.0}), 0.0);
+}
+
+TEST(PerceivedAgeTest, SkipsUnaccessedElements) {
+  // Element 1 is never accessed and never synced; its infinite age must not
+  // poison the metric.
+  const ElementSet elements = MakeElementSet({1.0, 1.0}, {1.0, 0.0});
+  const double age = PerceivedAge(elements, {2.0, 0.0});
+  EXPECT_TRUE(std::isfinite(age));
+  EXPECT_NEAR(age, FixedOrderAge(2.0, 1.0), 1e-12);
+}
+
+TEST(PerceivedAgeTest, WeightsByProfile) {
+  const ElementSet elements = MakeElementSet({1.0, 1.0}, {0.75, 0.25});
+  const double age = PerceivedAge(elements, {1.0, 2.0});
+  EXPECT_NEAR(age,
+              0.75 * FixedOrderAge(1.0, 1.0) + 0.25 * FixedOrderAge(2.0, 1.0),
+              1e-12);
+}
+
+TEST(BandwidthUsedTest, WeightsBySize) {
+  const ElementSet elements = MakeElementSet({1.0, 1.0}, {0.5, 0.5}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(BandwidthUsed(elements, {1.0, 2.0}), 8.0);
+}
+
+TEST(MetricsDeathTest, MismatchedLengthsAbort) {
+  const ElementSet elements = MakeElementSet({1.0}, {1.0});
+  EXPECT_DEATH(PerceivedFreshness(elements, {1.0, 2.0}), "CHECK");
+  EXPECT_DEATH(GeneralFreshness(elements, {}), "CHECK");
+  EXPECT_DEATH(BandwidthUsed(elements, {}), "CHECK");
+}
+
+}  // namespace
+}  // namespace freshen

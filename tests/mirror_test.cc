@@ -1,0 +1,200 @@
+// Tests for the versioned source/mirror state machines and the online
+// closed-loop runtime.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mirror/mirror_state.h"
+#include "mirror/online_loop.h"
+#include "model/freshness.h"
+#include "model/metrics.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+TEST(VersionedSourceTest, VersionsAdvanceWithTime) {
+  auto source = VersionedSource::Create({5.0, 0.0}, 1).value();
+  EXPECT_EQ(source.Version(0), 0u);
+  source.AdvanceTo(10.0);
+  EXPECT_GT(source.Version(0), 20u);  // ~50 expected.
+  EXPECT_LT(source.Version(0), 100u);
+  EXPECT_EQ(source.Version(1), 0u);  // Rate 0 never changes.
+  EXPECT_DOUBLE_EQ(source.Now(), 10.0);
+}
+
+TEST(VersionedSourceTest, UpdateCountMatchesPoissonMean) {
+  auto source = VersionedSource::Create(std::vector<double>(200, 2.0), 2)
+                    .value();
+  source.AdvanceTo(50.0);
+  // 200 elements * rate 2 * 50 periods = 20,000 expected updates.
+  EXPECT_NEAR(static_cast<double>(source.TotalUpdates()), 20000.0, 600.0);
+}
+
+TEST(VersionedSourceTest, FirstUpdateAfterFindsTheRightUpdate) {
+  auto source = VersionedSource::Create({1.0}, 3).value();
+  source.AdvanceTo(100.0);
+  const double first = source.FirstUpdateAfter(0, 0.0);
+  EXPECT_GT(first, 0.0);
+  EXPECT_LT(first, 100.0);
+  // The next one after `first` is strictly later.
+  EXPECT_GT(source.FirstUpdateAfter(0, first), first);
+  // Nothing after the horizon has been materialized.
+  EXPECT_TRUE(std::isinf(source.FirstUpdateAfter(0, 100.0)));
+}
+
+TEST(VersionedSourceTest, DeterministicInSeed) {
+  auto a = VersionedSource::Create({3.0, 1.0}, 7).value();
+  auto b = VersionedSource::Create({3.0, 1.0}, 7).value();
+  a.AdvanceTo(20.0);
+  b.AdvanceTo(20.0);
+  EXPECT_EQ(a.Version(0), b.Version(0));
+  EXPECT_EQ(a.TotalUpdates(), b.TotalUpdates());
+}
+
+TEST(VersionedSourceTest, RejectsInvalidRates) {
+  EXPECT_FALSE(VersionedSource::Create({}, 1).ok());
+  EXPECT_FALSE(VersionedSource::Create({-1.0}, 1).ok());
+}
+
+TEST(MirrorStateTest, SyncDetectsChanges) {
+  auto source = VersionedSource::Create({10.0, 0.0}, 4).value();
+  MirrorState mirror(2);
+  source.AdvanceTo(1.0);
+  EXPECT_FALSE(mirror.IsFresh(0, source));  // ~10 updates happened.
+  EXPECT_TRUE(mirror.IsFresh(1, source));   // Never changes.
+  EXPECT_TRUE(mirror.Sync(0, 1.0, source));   // Pulls a changed copy.
+  EXPECT_FALSE(mirror.Sync(1, 1.0, source));  // Nothing new.
+  EXPECT_TRUE(mirror.IsFresh(0, source));
+  EXPECT_EQ(mirror.TotalSyncs(), 2u);
+}
+
+TEST(MirrorStateTest, AgeTracksFirstMissedUpdate) {
+  auto source = VersionedSource::Create({1.0}, 5).value();
+  MirrorState mirror(1);
+  source.AdvanceTo(100.0);
+  const double first = source.FirstUpdateAfter(0, 0.0);
+  // Never synced: stale since the first update.
+  EXPECT_NEAR(mirror.Age(0, 100.0, source), 100.0 - first, 1e-12);
+  // After syncing at t=100, fresh: age 0.
+  mirror.Sync(0, 100.0, source);
+  EXPECT_DOUBLE_EQ(mirror.Age(0, 100.0, source), 0.0);
+}
+
+TEST(MirrorStateTest, FreshnessFractionMatchesClosedForm) {
+  // Regularly sync one element and measure the fraction of probe instants
+  // it is fresh — must match F(f, lambda).
+  const double lambda = 2.0;
+  const double f = 2.0;
+  auto source = VersionedSource::Create({lambda}, 6).value();
+  MirrorState mirror(1);
+  int fresh = 0;
+  int probes = 0;
+  const double interval = 1.0 / f;
+  for (int k = 1; k < 4000; ++k) {
+    const double sync_time = k * interval;
+    // Probe halfway through each interval as an unbiased-ish sample grid.
+    for (int p = 1; p <= 8; ++p) {
+      const double probe = sync_time - interval + p * interval / 9.0;
+      source.AdvanceTo(probe);
+      ++probes;
+      if (mirror.IsFresh(0, source)) ++fresh;
+    }
+    mirror.Sync(0, sync_time, source);
+  }
+  EXPECT_NEAR(static_cast<double>(fresh) / probes,
+              FixedOrderFreshness(f, lambda), 0.02);
+}
+
+OnlineFreshenLoop::Options LoopOptions() {
+  OnlineFreshenLoop::Options options;
+  options.accesses_per_period = 2000.0;
+  options.controller.replan_every_periods = 1.0;
+  options.controller.prior_change_rate = 2.0;
+  options.seed = 99;
+  return options;
+}
+
+TEST(OnlineLoopTest, RunsAndReportsSaneStats) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 50;
+  spec.syncs_per_period = 25.0;
+  const ElementSet truth = GenerateCatalog(spec).value();
+  auto loop = OnlineFreshenLoop::Create(truth, 25.0, LoopOptions()).value();
+  const PeriodStats stats = loop.RunPeriod();
+  EXPECT_GT(stats.accesses, 1500u);
+  EXPECT_GT(stats.syncs, 10u);
+  EXPECT_GT(stats.perceived_freshness, 0.0);
+  EXPECT_LE(stats.perceived_freshness, 1.0);
+  EXPECT_GT(stats.bandwidth_spent, 0.0);
+  EXPECT_TRUE(stats.replanned);
+  EXPECT_DOUBLE_EQ(loop.Now(), 1.0);
+}
+
+TEST(OnlineLoopTest, FreshnessImprovesAsControllerLearns) {
+  // Compare the *plans* (analytic PF on the ground truth) rather than the
+  // in-loop empirical freshness, whose early periods are inflated by the
+  // mirror starting fully fresh.
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 100;
+  spec.syncs_per_period = 50.0;
+  spec.theta = 1.2;
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet truth = GenerateCatalog(spec).value();
+  auto loop = OnlineFreshenLoop::Create(truth, 50.0, LoopOptions()).value();
+
+  const double cold_plan_pf =
+      PerceivedFreshness(truth, loop.controller().frequencies());
+  double late_empirical = 0.0;
+  for (int period = 0; period < 30; ++period) {
+    const PeriodStats stats = loop.RunPeriod();
+    if (period >= 25) late_empirical += stats.perceived_freshness / 5.0;
+  }
+  const double warm_plan_pf =
+      PerceivedFreshness(truth, loop.controller().frequencies());
+  EXPECT_GT(warm_plan_pf, cold_plan_pf + 0.05);
+  // The running mirror actually delivers the learned plan quality.
+  EXPECT_GT(late_empirical, cold_plan_pf);
+}
+
+TEST(OnlineLoopTest, TracksProfileDriftWithDecay) {
+  // Interest flips to the reversed ranking mid-run; a decaying learner
+  // recovers, measured against the periods right after the flip.
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 80;
+  spec.syncs_per_period = 40.0;
+  spec.theta = 1.3;
+  const ElementSet truth = GenerateCatalog(spec).value();
+
+  OnlineFreshenLoop::Options options = LoopOptions();
+  options.controller.learner.decay = 0.5;
+  auto loop = OnlineFreshenLoop::Create(truth, 40.0, options).value();
+  for (int period = 0; period < 15; ++period) loop.RunPeriod();
+
+  // Flip: the coldest elements become the hottest.
+  std::vector<double> flipped(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    flipped[i] = truth[truth.size() - 1 - i].access_prob;
+  }
+  ASSERT_TRUE(loop.SetTrueProfile(flipped).ok());
+
+  double just_after = 0.0;
+  double recovered = 0.0;
+  for (int period = 0; period < 25; ++period) {
+    const PeriodStats stats = loop.RunPeriod();
+    if (period < 3) just_after += stats.perceived_freshness / 3.0;
+    if (period >= 20) recovered += stats.perceived_freshness / 5.0;
+  }
+  EXPECT_GT(recovered, just_after);
+}
+
+TEST(OnlineLoopTest, RejectsInvalidInput) {
+  EXPECT_FALSE(OnlineFreshenLoop::Create({}, 1.0, LoopOptions()).ok());
+  const ElementSet truth = MakeElementSet({1.0}, {1.0});
+  auto loop = OnlineFreshenLoop::Create(truth, 1.0, LoopOptions()).value();
+  EXPECT_FALSE(loop.SetTrueProfile({1.0, 2.0}).ok());
+  EXPECT_FALSE(loop.SetTrueProfile({0.0}).ok());
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,260 @@
+// Tests for the sort-based partitioners, the transformed problem, and
+// FFA/FBA allocation expansion.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "model/freshness.h"
+#include "partition/allocation.h"
+#include "partition/partitioner.h"
+#include "partition/transformed.h"
+#include "stats/descriptive.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+ElementSet SmallCatalog() {
+  return MakeElementSet({4.0, 1.0, 3.0, 2.0, 5.0, 0.5},
+                        {0.1, 0.3, 0.05, 0.25, 0.05, 0.25},
+                        {1.0, 2.0, 0.5, 1.0, 4.0, 0.25});
+}
+
+TEST(PartitionKeyTest, Names) {
+  EXPECT_EQ(ToString(PartitionKey::kAccessProb), "P_PARTITIONING");
+  EXPECT_EQ(ToString(PartitionKey::kChangeRate), "LAMBDA_PARTITIONING");
+  EXPECT_EQ(ToString(PartitionKey::kProbOverLambda),
+            "P_OVER_LAMBDA_PARTITIONING");
+  EXPECT_EQ(ToString(PartitionKey::kPerceivedFreshness), "PF_PARTITIONING");
+  EXPECT_EQ(ToString(PartitionKey::kPerceivedFreshnessSize),
+            "PF_OVER_S_PARTITIONING");
+  EXPECT_EQ(ToString(PartitionKey::kSize), "SIZE_PARTITIONING");
+}
+
+TEST(PartitionKeyTest, SortKeysComputeDocumentedQuantities) {
+  Element e;
+  e.change_rate = 2.0;
+  e.access_prob = 0.4;
+  e.size = 2.0;
+  EXPECT_DOUBLE_EQ(PartitionSortKey(PartitionKey::kAccessProb, e), 0.4);
+  EXPECT_DOUBLE_EQ(PartitionSortKey(PartitionKey::kChangeRate, e), 2.0);
+  EXPECT_DOUBLE_EQ(PartitionSortKey(PartitionKey::kProbOverLambda, e), 0.2);
+  EXPECT_DOUBLE_EQ(PartitionSortKey(PartitionKey::kPerceivedFreshness, e),
+                   0.4 * FixedOrderFreshness(1.0, 2.0));
+  EXPECT_DOUBLE_EQ(PartitionSortKey(PartitionKey::kPerceivedFreshnessSize, e),
+                   0.4 * FixedOrderFreshness(0.5, 2.0));
+  EXPECT_DOUBLE_EQ(PartitionSortKey(PartitionKey::kSize, e), 2.0);
+}
+
+TEST(BuildPartitionsTest, CoversEveryElementExactlyOnce) {
+  const ElementSet elements = SmallCatalog();
+  for (size_t k : {1u, 2u, 3u, 4u, 6u}) {
+    const auto partitions =
+        BuildPartitions(elements, PartitionKey::kAccessProb, k).value();
+    EXPECT_EQ(partitions.size(), k);
+    std::set<size_t> seen;
+    for (const auto& part : partitions) {
+      for (size_t i : part.members) {
+        EXPECT_TRUE(seen.insert(i).second) << "duplicate member " << i;
+      }
+    }
+    EXPECT_EQ(seen.size(), elements.size());
+  }
+}
+
+TEST(BuildPartitionsTest, SizesDifferByAtMostOne) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  const ElementSet elements = GenerateCatalog(spec).value();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kPerceivedFreshness, 7).value();
+  size_t min_size = elements.size();
+  size_t max_size = 0;
+  for (const auto& part : partitions) {
+    min_size = std::min(min_size, part.members.size());
+    max_size = std::max(max_size, part.members.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(BuildPartitionsTest, GroupsAreContiguousInSortedKeyOrder) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kChangeRate, 3).value();
+  // Every key in partition j must be <= every key in partition j+1.
+  double prev_max = -1e300;
+  for (const auto& part : partitions) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (size_t i : part.members) {
+      lo = std::min(lo, elements[i].change_rate);
+      hi = std::max(hi, elements[i].change_rate);
+    }
+    EXPECT_GE(lo, prev_max);
+    prev_max = hi;
+  }
+}
+
+TEST(BuildPartitionsTest, RepresentativeIsMemberMean) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 2).value();
+  for (const auto& part : partitions) {
+    KahanSum p;
+    KahanSum l;
+    KahanSum s;
+    for (size_t i : part.members) {
+      p.Add(elements[i].access_prob);
+      l.Add(elements[i].change_rate);
+      s.Add(elements[i].size);
+    }
+    const double inv = 1.0 / static_cast<double>(part.members.size());
+    EXPECT_NEAR(part.rep_access_prob, p.Total() * inv, 1e-15);
+    EXPECT_NEAR(part.rep_change_rate, l.Total() * inv, 1e-15);
+    EXPECT_NEAR(part.rep_size, s.Total() * inv, 1e-15);
+  }
+}
+
+TEST(BuildPartitionsTest, MorePartitionsThanElementsClamps) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 100).value();
+  EXPECT_EQ(partitions.size(), elements.size());
+  for (const auto& part : partitions) EXPECT_EQ(part.members.size(), 1u);
+}
+
+TEST(BuildPartitionsTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildPartitions({}, PartitionKey::kAccessProb, 3).ok());
+  EXPECT_FALSE(
+      BuildPartitions(SmallCatalog(), PartitionKey::kAccessProb, 0).ok());
+}
+
+TEST(TransformedProblemTest, WeightsAndCostsScaleByCount) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 2).value();
+  const CoreProblem problem =
+      BuildTransformedProblem(partitions, 10.0, /*size_aware=*/true);
+  ASSERT_EQ(problem.size(), 2u);
+  for (size_t j = 0; j < 2; ++j) {
+    const double n_j = static_cast<double>(partitions[j].members.size());
+    EXPECT_NEAR(problem.weights[j], n_j * partitions[j].rep_access_prob,
+                1e-15);
+    EXPECT_NEAR(problem.costs[j], n_j * partitions[j].rep_size, 1e-15);
+    EXPECT_DOUBLE_EQ(problem.change_rates[j],
+                     partitions[j].rep_change_rate);
+  }
+  EXPECT_DOUBLE_EQ(problem.bandwidth, 10.0);
+}
+
+TEST(TransformedProblemTest, SizeBlindCostsAreCounts) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 3).value();
+  const CoreProblem problem =
+      BuildTransformedProblem(partitions, 6.0, /*size_aware=*/false);
+  for (size_t j = 0; j < partitions.size(); ++j) {
+    EXPECT_DOUBLE_EQ(problem.costs[j],
+                     static_cast<double>(partitions[j].members.size()));
+  }
+}
+
+TEST(AllocationTest, PolicyNames) {
+  EXPECT_EQ(ToString(AllocationPolicy::kFixedFrequency), "FFA");
+  EXPECT_EQ(ToString(AllocationPolicy::kFixedBandwidth), "FBA");
+}
+
+TEST(AllocationTest, FfaGivesEveryMemberThePartitionFrequency) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 2).value();
+  const std::vector<double> part_freqs = {1.5, 0.25};
+  const auto freqs = ExpandAllocation(elements, partitions, part_freqs,
+                                      AllocationPolicy::kFixedFrequency)
+                         .value();
+  for (size_t j = 0; j < partitions.size(); ++j) {
+    for (size_t i : partitions[j].members) {
+      EXPECT_DOUBLE_EQ(freqs[i], part_freqs[j]);
+    }
+  }
+}
+
+TEST(AllocationTest, FbaEqualizesBandwidthWithinPartition) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kSize, 2).value();
+  const std::vector<double> part_freqs = {2.0, 1.0};
+  const auto freqs = ExpandAllocation(elements, partitions, part_freqs,
+                                      AllocationPolicy::kFixedBandwidth)
+                         .value();
+  for (size_t j = 0; j < partitions.size(); ++j) {
+    const double expected_bandwidth =
+        partitions[j].rep_size * part_freqs[j];
+    for (size_t i : partitions[j].members) {
+      EXPECT_NEAR(freqs[i] * elements[i].size, expected_bandwidth, 1e-12);
+    }
+  }
+}
+
+TEST(AllocationTest, BothPoliciesPreservePartitionBandwidthTotals) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kPerceivedFreshnessSize, 3)
+          .value();
+  const std::vector<double> part_freqs = {1.0, 2.0, 0.5};
+  for (auto policy : {AllocationPolicy::kFixedFrequency,
+                      AllocationPolicy::kFixedBandwidth}) {
+    const auto freqs =
+        ExpandAllocation(elements, partitions, part_freqs, policy).value();
+    for (size_t j = 0; j < partitions.size(); ++j) {
+      double spend = 0.0;
+      for (size_t i : partitions[j].members) {
+        spend += freqs[i] * elements[i].size;
+      }
+      const double expected =
+          part_freqs[j] * partitions[j].rep_size *
+          static_cast<double>(partitions[j].members.size());
+      EXPECT_NEAR(spend, expected, 1e-12) << ToString(policy) << " " << j;
+    }
+  }
+}
+
+TEST(AllocationTest, EqualSizesMakePoliciesIdentical) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0, 3.0, 4.0}, {0.25, 0.25, 0.25, 0.25});
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kChangeRate, 2).value();
+  const std::vector<double> part_freqs = {1.0, 3.0};
+  const auto ffa = ExpandAllocation(elements, partitions, part_freqs,
+                                    AllocationPolicy::kFixedFrequency)
+                       .value();
+  const auto fba = ExpandAllocation(elements, partitions, part_freqs,
+                                    AllocationPolicy::kFixedBandwidth)
+                       .value();
+  for (size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_NEAR(ffa[i], fba[i], 1e-12);
+  }
+}
+
+TEST(AllocationTest, RejectsMalformedInput) {
+  const ElementSet elements = SmallCatalog();
+  const auto partitions =
+      BuildPartitions(elements, PartitionKey::kAccessProb, 2).value();
+  // Wrong frequency count.
+  EXPECT_FALSE(ExpandAllocation(elements, partitions, {1.0},
+                                AllocationPolicy::kFixedFrequency)
+                   .ok());
+  // Negative frequency.
+  EXPECT_FALSE(ExpandAllocation(elements, partitions, {1.0, -2.0},
+                                AllocationPolicy::kFixedFrequency)
+                   .ok());
+  // Partition that misses elements.
+  std::vector<Partition> partial = {partitions[0]};
+  EXPECT_FALSE(ExpandAllocation(elements, partial, {1.0},
+                                AllocationPolicy::kFixedFrequency)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace freshen

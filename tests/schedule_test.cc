@@ -1,0 +1,138 @@
+// Tests for materialized fixed-order schedules.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "schedule/schedule.h"
+
+namespace freshen {
+namespace {
+
+TEST(ScheduleTest, EventCountMatchesFrequencyTimesHorizon) {
+  const auto schedule = SyncSchedule::FixedOrder({2.0, 0.5}, 10.0).value();
+  size_t count0 = 0;
+  size_t count1 = 0;
+  for (const auto& event : schedule.events()) {
+    if (event.element == 0) ++count0;
+    if (event.element == 1) ++count1;
+  }
+  EXPECT_EQ(count0, 20u);
+  EXPECT_EQ(count1, 5u);
+}
+
+TEST(ScheduleTest, EventsAreSortedByTime) {
+  const auto schedule =
+      SyncSchedule::FixedOrder({3.0, 1.7, 0.9, 2.2}, 25.0).value();
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule.events()[i - 1].time, schedule.events()[i].time);
+  }
+}
+
+TEST(ScheduleTest, IntervalsAreRegular) {
+  const auto schedule = SyncSchedule::FixedOrder({4.0}, 5.0).value();
+  ASSERT_EQ(schedule.size(), 20u);
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_NEAR(schedule.events()[i].time - schedule.events()[i - 1].time,
+                0.25, 1e-9);
+  }
+}
+
+TEST(ScheduleTest, ZeroFrequencyElementNeverSynced) {
+  const auto schedule = SyncSchedule::FixedOrder({0.0, 1.0}, 10.0).value();
+  for (const auto& event : schedule.events()) {
+    EXPECT_EQ(event.element, 1u);
+  }
+}
+
+TEST(ScheduleTest, PhasesStaggerEqualFrequencies) {
+  // Two elements at the same frequency must not fire at identical times.
+  const auto schedule = SyncSchedule::FixedOrder({1.0, 1.0}, 4.0).value();
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GT(schedule.events()[i].time - schedule.events()[i - 1].time,
+              0.01);
+  }
+}
+
+TEST(ScheduleTest, EmptyHorizonYieldsNoEvents) {
+  const auto schedule = SyncSchedule::FixedOrder({5.0}, 0.0).value();
+  EXPECT_EQ(schedule.size(), 0u);
+}
+
+TEST(ScheduleTest, BandwidthPerPeriodAccountsForSizes) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 1.0}, {0.5, 0.5}, {2.0, 3.0});
+  const auto schedule = SyncSchedule::FixedOrder({1.0, 2.0}, 10.0).value();
+  // 10 syncs of size 2 + 20 syncs of size 3 over 10 periods = 8 per period.
+  EXPECT_NEAR(schedule.BandwidthPerPeriod(elements, 10.0), 8.0, 1e-9);
+}
+
+TEST(ScheduleTest, RejectsInvalidInput) {
+  EXPECT_FALSE(SyncSchedule::FixedOrder({1.0}, -1.0).ok());
+  EXPECT_FALSE(SyncSchedule::FixedOrder({-1.0}, 1.0).ok());
+  EXPECT_FALSE(
+      SyncSchedule::FixedOrder({std::nan("")}, 1.0).ok());
+}
+
+TEST(ScheduleTest, FractionalFrequenciesSpanPeriods) {
+  // f = 0.4 means one sync every 2.5 periods.
+  const auto schedule = SyncSchedule::FixedOrder({0.4}, 10.0).value();
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_NEAR(schedule.events()[1].time - schedule.events()[0].time, 2.5,
+              1e-9);
+}
+
+TEST(PoissonScheduleTest, EventCountNearExpectation) {
+  const auto schedule =
+      SyncSchedule::PoissonOrder({2.0, 0.5}, 1000.0, 11).value();
+  size_t count0 = 0;
+  size_t count1 = 0;
+  for (const auto& event : schedule.events()) {
+    if (event.element == 0) ++count0;
+    if (event.element == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count0), 2000.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(count1), 500.0, 80.0);
+}
+
+TEST(PoissonScheduleTest, SortedAndDeterministic) {
+  const auto a = SyncSchedule::PoissonOrder({1.0, 2.0}, 50.0, 5).value();
+  const auto b = SyncSchedule::PoissonOrder({1.0, 2.0}, 50.0, 5).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+    if (i > 0) {
+      EXPECT_LE(a.events()[i - 1].time, a.events()[i].time);
+    }
+  }
+  const auto c = SyncSchedule::PoissonOrder({1.0, 2.0}, 50.0, 6).value();
+  EXPECT_NE(a.size(), 0u);
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = !(a.events()[i] == c.events()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PoissonScheduleTest, GapsAreIrregular) {
+  const auto schedule = SyncSchedule::PoissonOrder({4.0}, 100.0, 9).value();
+  ASSERT_GT(schedule.size(), 100u);
+  double min_gap = 1e300;
+  double max_gap = 0.0;
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    const double gap = schedule.events()[i].time - schedule.events()[i - 1].time;
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+  }
+  // Memoryless gaps vary wildly, unlike FixedOrder's constant 0.25.
+  EXPECT_LT(min_gap, 0.05);
+  EXPECT_GT(max_gap, 0.5);
+}
+
+TEST(PoissonScheduleTest, RejectsInvalidInput) {
+  EXPECT_FALSE(SyncSchedule::PoissonOrder({1.0}, -1.0, 1).ok());
+  EXPECT_FALSE(SyncSchedule::PoissonOrder({-1.0}, 1.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,111 @@
+// Tests for the statistics substrate.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace freshen {
+namespace {
+
+TEST(KahanSumTest, CompensatesSmallTerms) {
+  KahanSum acc;
+  acc.Add(1.0);
+  for (int i = 0; i < 10000000; ++i) acc.Add(1e-16);
+  EXPECT_NEAR(acc.Total(), 1.0 + 1e-9, 1e-12);
+  EXPECT_EQ(acc.Count(), 10000001u);
+}
+
+TEST(KahanSumTest, EmptyIsZero) {
+  KahanSum acc;
+  EXPECT_EQ(acc.Total(), 0.0);
+  EXPECT_EQ(acc.Count(), 0u);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_EQ(stats.Count(), 8u);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.StdDev(), 0.0);
+}
+
+TEST(RunningStatsTest, StableUnderLargeOffset) {
+  RunningStats stats;
+  for (double x : {1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}) stats.Add(x);
+  EXPECT_NEAR(stats.Mean(), 1e9 + 10, 1e-3);
+  EXPECT_NEAR(stats.Variance(), 30.0, 1e-6);
+}
+
+TEST(SumMeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Sum({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Sum({1.5, 2.5}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({5.0, 1.0, 3.0}, 0.5), 3.0);
+}
+
+TEST(HistogramTest, BinsAndOverflow) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(-1.0);   // underflow
+  hist.Add(0.0);    // bin 0
+  hist.Add(1.99);   // bin 0
+  hist.Add(2.0);    // bin 1
+  hist.Add(9.99);   // bin 4
+  hist.Add(10.0);   // overflow
+  hist.Add(100.0);  // overflow
+  EXPECT_EQ(hist.BinCount(0), 2u);
+  EXPECT_EQ(hist.BinCount(1), 1u);
+  EXPECT_EQ(hist.BinCount(4), 1u);
+  EXPECT_EQ(hist.Underflow(), 1u);
+  EXPECT_EQ(hist.Overflow(), 2u);
+  EXPECT_EQ(hist.TotalCount(), 7u);
+  EXPECT_DOUBLE_EQ(hist.BinLow(1), 2.0);
+}
+
+TEST(HistogramTest, ChiSquareIsSmallForMatchingDistribution) {
+  Histogram hist(0.0, 1.0, 10);
+  // 10,000 evenly spread points.
+  for (int i = 0; i < 10000; ++i) hist.Add((i + 0.5) / 10000.0);
+  const double chi2 = hist.ChiSquare(std::vector<double>(10, 0.1));
+  EXPECT_LT(chi2, 1.0);  // Deterministic near-perfect fit.
+}
+
+TEST(HistogramTest, ChiSquareDetectsMismatch) {
+  Histogram hist(0.0, 1.0, 2);
+  for (int i = 0; i < 1000; ++i) hist.Add(0.25);  // Everything in bin 0.
+  const double chi2 = hist.ChiSquare({0.5, 0.5});
+  EXPECT_GT(chi2, 500.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCounts) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.Add(0.1);
+  const std::string text = hist.ToString();
+  EXPECT_NE(text.find("[0, 0.5): 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace freshen

@@ -1,0 +1,243 @@
+// Tests for the exact KKT solver — including the paper's Table 1, which the
+// solver must reproduce to two decimals.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "opt/kkt.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "rng/rng.h"
+
+namespace freshen {
+namespace {
+
+// The paper's running example (§2.2.1): five equal-sized elements changing
+// at 1..5 times/day, bandwidth 5 syncs/day.
+ElementSet ToyCatalog(const std::vector<double>& probs) {
+  return MakeElementSet({1.0, 2.0, 3.0, 4.0, 5.0}, probs);
+}
+
+Allocation SolvePf(const ElementSet& elements, double bandwidth,
+                   bool size_aware = false) {
+  KktWaterFillingSolver solver;
+  auto result = solver.Solve(
+      MakePerceivedProblem(elements, bandwidth, size_aware));
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(WaterFillingTable1Test, UniformProfileP1MatchesPaperRowB) {
+  // P1 = uniform: Table 1 row (b) = (1.15, 1.36, 1.35, 1.14, 0.00). This is
+  // also exactly the prior work's (Cho & Garcia-Molina) solution.
+  const ElementSet elements = ToyCatalog({0.2, 0.2, 0.2, 0.2, 0.2});
+  const Allocation allocation = SolvePf(elements, 5.0);
+  const std::vector<double> expected = {1.15, 1.36, 1.35, 1.14, 0.00};
+  ASSERT_EQ(allocation.frequencies.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(allocation.frequencies[i], expected[i], 0.005)
+        << "element " << i;
+  }
+}
+
+TEST(WaterFillingTable1Test, ProportionalProfileP2MatchesPaperRowC) {
+  // P2 = (1..5)/15: p_i proportional to lambda_i, so optimal f_i is exactly
+  // proportional to lambda_i: (0.33, 0.67, 1.00, 1.33, 1.67).
+  const ElementSet elements =
+      ToyCatalog({1.0 / 15, 2.0 / 15, 3.0 / 15, 4.0 / 15, 5.0 / 15});
+  const Allocation allocation = SolvePf(elements, 5.0);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(allocation.frequencies[i], (i + 1) / 3.0, 0.005)
+        << "element " << i;
+  }
+}
+
+TEST(WaterFillingTable1Test, ReverseProfileP3MatchesPaperRowD) {
+  // P3 = (5..1)/15: Table 1 row (d) = (1.68, 1.83, 1.49, 0.00, 0.00).
+  const ElementSet elements =
+      ToyCatalog({5.0 / 15, 4.0 / 15, 3.0 / 15, 2.0 / 15, 1.0 / 15});
+  const Allocation allocation = SolvePf(elements, 5.0);
+  const std::vector<double> expected = {1.68, 1.83, 1.49, 0.00, 0.00};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(allocation.frequencies[i], expected[i], 0.01)
+        << "element " << i;
+  }
+}
+
+TEST(WaterFillingTest, BudgetMetExactly) {
+  const ElementSet elements = ToyCatalog({0.1, 0.3, 0.2, 0.25, 0.15});
+  const Allocation allocation = SolvePf(elements, 5.0);
+  EXPECT_NEAR(allocation.bandwidth_used, 5.0, 1e-9);
+}
+
+TEST(WaterFillingTest, KktConditionsHoldOnToyExamples) {
+  for (const auto& probs :
+       {std::vector<double>{0.2, 0.2, 0.2, 0.2, 0.2},
+        std::vector<double>{1.0 / 15, 2.0 / 15, 3.0 / 15, 4.0 / 15, 5.0 / 15},
+        std::vector<double>{5.0 / 15, 4.0 / 15, 3.0 / 15, 2.0 / 15,
+                            1.0 / 15}}) {
+    const ElementSet elements = ToyCatalog(probs);
+    const CoreProblem problem = MakePerceivedProblem(elements, 5.0, false);
+    KktWaterFillingSolver solver;
+    const Allocation allocation = solver.Solve(problem).value();
+    const KktReport report = VerifyKkt(problem, allocation, 1e-6);
+    EXPECT_TRUE(report.satisfied) << report.ToString();
+  }
+}
+
+TEST(WaterFillingTest, ZeroWeightElementGetsNothing) {
+  ElementSet elements = ToyCatalog({0.5, 0.5, 0.0, 0.0, 0.0});
+  const Allocation allocation = SolvePf(elements, 5.0);
+  EXPECT_DOUBLE_EQ(allocation.frequencies[2], 0.0);
+  EXPECT_DOUBLE_EQ(allocation.frequencies[3], 0.0);
+  EXPECT_DOUBLE_EQ(allocation.frequencies[4], 0.0);
+}
+
+TEST(WaterFillingTest, ZeroChangeRateElementGetsNothing) {
+  ElementSet elements = MakeElementSet({0.0, 2.0}, {0.9, 0.1});
+  const Allocation allocation = SolvePf(elements, 1.0);
+  EXPECT_DOUBLE_EQ(allocation.frequencies[0], 0.0);
+  EXPECT_NEAR(allocation.frequencies[1], 1.0, 1e-9);
+}
+
+TEST(WaterFillingTest, NothingUsefulToSpendOn) {
+  // All elements either never change or are never accessed.
+  ElementSet elements = MakeElementSet({0.0, 5.0}, {1.0, 0.0});
+  const Allocation allocation = SolvePf(elements, 3.0);
+  EXPECT_DOUBLE_EQ(allocation.frequencies[0], 0.0);
+  EXPECT_DOUBLE_EQ(allocation.frequencies[1], 0.0);
+  EXPECT_DOUBLE_EQ(allocation.bandwidth_used, 0.0);
+  // Objective is 1.0: the never-changing, always-accessed element is fresh.
+  EXPECT_DOUBLE_EQ(allocation.objective, 1.0);
+}
+
+TEST(WaterFillingTest, SingleElementTakesAllBandwidth) {
+  ElementSet elements = MakeElementSet({3.0}, {1.0});
+  const Allocation allocation = SolvePf(elements, 2.5);
+  EXPECT_NEAR(allocation.frequencies[0], 2.5, 1e-9);
+}
+
+TEST(WaterFillingTest, MoreBandwidthNeverHurts) {
+  const ElementSet elements = ToyCatalog({0.3, 0.25, 0.2, 0.15, 0.1});
+  double prev_objective = -1.0;
+  for (double bandwidth : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const Allocation allocation = SolvePf(elements, bandwidth);
+    EXPECT_GT(allocation.objective, prev_objective) << bandwidth;
+    prev_objective = allocation.objective;
+  }
+}
+
+TEST(WaterFillingTest, ObjectiveBeatsProportionalAndUniformBaselines) {
+  const ElementSet elements = ToyCatalog({0.5, 0.05, 0.05, 0.1, 0.3});
+  const double bandwidth = 5.0;
+  const CoreProblem problem =
+      MakePerceivedProblem(elements, bandwidth, false);
+  const Allocation allocation =
+      KktWaterFillingSolver().Solve(problem).value();
+  const std::vector<double> uniform(5, 1.0);
+  std::vector<double> proportional(5);
+  for (size_t i = 0; i < 5; ++i) {
+    proportional[i] = bandwidth * elements[i].access_prob;
+  }
+  EXPECT_GE(allocation.objective, problem.Objective(uniform) - 1e-12);
+  EXPECT_GE(allocation.objective, problem.Objective(proportional) - 1e-12);
+}
+
+TEST(WaterFillingTest, SizeAwareConstraintUsesSizes) {
+  // Two identical elements except size; size-aware optimum syncs the small
+  // one more often.
+  ElementSet elements = MakeElementSet({2.0, 2.0}, {0.5, 0.5}, {1.0, 4.0});
+  const Allocation allocation = SolvePf(elements, 4.0, /*size_aware=*/true);
+  EXPECT_GT(allocation.frequencies[0], allocation.frequencies[1]);
+  EXPECT_NEAR(allocation.frequencies[0] + 4.0 * allocation.frequencies[1],
+              4.0, 1e-9);
+}
+
+TEST(WaterFillingTest, SizeAwareKktHolds) {
+  ElementSet elements = MakeElementSet({1.0, 2.0, 3.0, 4.0}, //
+                                       {0.4, 0.3, 0.2, 0.1}, //
+                                       {0.5, 1.0, 2.0, 4.0});
+  const CoreProblem problem = MakePerceivedProblem(elements, 6.0, true);
+  const Allocation allocation =
+      KktWaterFillingSolver().Solve(problem).value();
+  const KktReport report = VerifyKkt(problem, allocation, 1e-6);
+  EXPECT_TRUE(report.satisfied) << report.ToString();
+}
+
+TEST(WaterFillingTest, GeneralProblemIgnoresProfile) {
+  // GF must produce the same schedule regardless of the profile.
+  const ElementSet a = ToyCatalog({0.9, 0.025, 0.025, 0.025, 0.025});
+  const ElementSet b = ToyCatalog({0.2, 0.2, 0.2, 0.2, 0.2});
+  KktWaterFillingSolver solver;
+  const Allocation fa = solver.Solve(MakeGeneralProblem(a, 5.0)).value();
+  const Allocation fb = solver.Solve(MakeGeneralProblem(b, 5.0)).value();
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(fa.frequencies[i], fb.frequencies[i], 1e-9);
+  }
+}
+
+TEST(WaterFillingTest, RejectsInvalidProblems) {
+  KktWaterFillingSolver solver;
+  CoreProblem empty;
+  empty.bandwidth = 1.0;
+  EXPECT_FALSE(solver.Solve(empty).ok());
+
+  CoreProblem bad_bandwidth;
+  bad_bandwidth.weights = {1.0};
+  bad_bandwidth.change_rates = {1.0};
+  bad_bandwidth.costs = {1.0};
+  bad_bandwidth.bandwidth = 0.0;
+  EXPECT_FALSE(solver.Solve(bad_bandwidth).ok());
+
+  CoreProblem negative_weight;
+  negative_weight.weights = {-0.1};
+  negative_weight.change_rates = {1.0};
+  negative_weight.costs = {1.0};
+  negative_weight.bandwidth = 1.0;
+  EXPECT_FALSE(solver.Solve(negative_weight).ok());
+
+  CoreProblem zero_cost;
+  zero_cost.weights = {0.5};
+  zero_cost.change_rates = {1.0};
+  zero_cost.costs = {0.0};
+  zero_cost.bandwidth = 1.0;
+  EXPECT_FALSE(solver.Solve(zero_cost).ok());
+
+  CoreProblem mismatched;
+  mismatched.weights = {0.5, 0.5};
+  mismatched.change_rates = {1.0};
+  mismatched.costs = {1.0, 1.0};
+  mismatched.bandwidth = 1.0;
+  EXPECT_FALSE(solver.Solve(mismatched).ok());
+}
+
+// Property sweep: KKT conditions hold on random instances of varying size.
+class WaterFillingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaterFillingPropertyTest, RandomInstanceSatisfiesKkt) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 7919);
+  CoreProblem problem;
+  problem.bandwidth = 0.0;
+  for (int i = 0; i < n; ++i) {
+    problem.weights.push_back(rng.NextDoubleIn(0.0, 1.0));
+    problem.change_rates.push_back(rng.NextDoubleIn(0.01, 10.0));
+    problem.costs.push_back(rng.NextDoubleIn(0.1, 5.0));
+  }
+  problem.bandwidth = 0.3 * n;
+  const Allocation allocation =
+      KktWaterFillingSolver().Solve(problem).value();
+  const KktReport report = VerifyKkt(problem, allocation, 1e-5);
+  EXPECT_TRUE(report.satisfied) << "n=" << n << " " << report.ToString();
+  EXPECT_NEAR(allocation.bandwidth_used, problem.bandwidth,
+              1e-9 * problem.bandwidth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WaterFillingPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 100, 500, 2000,
+                                           10000));
+
+}  // namespace
+}  // namespace freshen

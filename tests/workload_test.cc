@@ -1,0 +1,195 @@
+// Tests for catalog generation: specs, alignments, determinism, and the
+// statistical properties the paper's setup prescribes.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "stats/descriptive.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace freshen {
+namespace {
+
+TEST(SpecTest, IdealCaseMatchesTable2) {
+  const ExperimentSpec spec = ExperimentSpec::IdealCase();
+  EXPECT_EQ(spec.num_objects, 500u);
+  EXPECT_DOUBLE_EQ(spec.mean_updates_per_object, 2.0);  // 1000 updates.
+  EXPECT_DOUBLE_EQ(spec.update_stddev, 1.0);
+  EXPECT_DOUBLE_EQ(spec.syncs_per_period, 250.0);
+}
+
+TEST(SpecTest, BigCaseMatchesTable3) {
+  const ExperimentSpec spec = ExperimentSpec::BigCase();
+  EXPECT_EQ(spec.num_objects, 500000u);
+  EXPECT_DOUBLE_EQ(spec.update_stddev, 2.0);
+  EXPECT_DOUBLE_EQ(spec.syncs_per_period, 250000.0);
+  EXPECT_DOUBLE_EQ(spec.theta, 1.0);
+}
+
+TEST(SpecTest, EnumNames) {
+  EXPECT_EQ(ToString(Alignment::kAligned), "aligned");
+  EXPECT_EQ(ToString(Alignment::kReverse), "reverse");
+  EXPECT_EQ(ToString(Alignment::kShuffled), "shuffled");
+  EXPECT_EQ(ToString(SizeModel::kUniform), "uniform");
+  EXPECT_EQ(ToString(SizeModel::kPareto), "pareto");
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  const ElementSet a = GenerateCatalog(spec).value();
+  const ElementSet b = GenerateCatalog(spec).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].change_rate, b[i].change_rate);
+    EXPECT_EQ(a[i].access_prob, b[i].access_prob);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+  spec.seed += 1;
+  const ElementSet c = GenerateCatalog(spec).value();
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].change_rate != c[i].change_rate) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GeneratorTest, ProfileIsZipfOverRank) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.theta = 1.0;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  // Access probs sum to 1 and decrease with rank.
+  EXPECT_NEAR(Sum(AccessProbs(elements)), 1.0, 1e-9);
+  for (size_t i = 1; i < elements.size(); ++i) {
+    EXPECT_LT(elements[i].access_prob, elements[i - 1].access_prob);
+  }
+  // Rank-2 probability is half of rank-1 at theta = 1.
+  EXPECT_NEAR(elements[0].access_prob / elements[1].access_prob, 2.0, 1e-9);
+}
+
+TEST(GeneratorTest, ChangeRatesHaveRequestedMoments) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 100000;  // Big sample for tight moments.
+  const std::vector<double> rates = DrawChangeRates(spec);
+  RunningStats stats;
+  for (double r : rates) stats.Add(r);
+  EXPECT_NEAR(stats.Mean(), 2.0, 0.03);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.03);
+}
+
+TEST(GeneratorTest, AlignedPutsVolatileFirst) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.alignment = Alignment::kAligned;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  for (size_t i = 1; i < elements.size(); ++i) {
+    EXPECT_GE(elements[i - 1].change_rate, elements[i].change_rate);
+  }
+}
+
+TEST(GeneratorTest, ReversePutsStableFirst) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.alignment = Alignment::kReverse;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  for (size_t i = 1; i < elements.size(); ++i) {
+    EXPECT_LE(elements[i - 1].change_rate, elements[i].change_rate);
+  }
+}
+
+TEST(GeneratorTest, AlignmentsAreTheSameMultiset) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.alignment = Alignment::kAligned;
+  auto aligned = ChangeRates(GenerateCatalog(spec).value());
+  spec.alignment = Alignment::kShuffled;
+  auto shuffled = ChangeRates(GenerateCatalog(spec).value());
+  std::sort(aligned.begin(), aligned.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(aligned, shuffled);
+}
+
+TEST(GeneratorTest, ShuffledBreaksRankCorrelation) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  // Spearman-ish check: correlation between rank and rate should be weak.
+  const size_t n = elements.size();
+  double mean_rate = Mean(ChangeRates(elements));
+  double num = 0.0;
+  double den_rank = 0.0;
+  double den_rate = 0.0;
+  const double mean_rank = (static_cast<double>(n) - 1.0) / 2.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dr = static_cast<double>(i) - mean_rank;
+    const double dv = elements[i].change_rate - mean_rate;
+    num += dr * dv;
+    den_rank += dr * dr;
+    den_rate += dv * dv;
+  }
+  const double corr = num / std::sqrt(den_rank * den_rate);
+  EXPECT_LT(std::fabs(corr), 0.1);
+}
+
+TEST(GeneratorTest, UniformSizesAreAllMeanSize) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.size_model = SizeModel::kUniform;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  for (const Element& e : elements) EXPECT_DOUBLE_EQ(e.size, 1.0);
+}
+
+TEST(GeneratorTest, ParetoSizesRespectShapeAndAlignment) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.size_model = SizeModel::kPareto;
+  spec.size_alignment = SizeAlignment::kAligned;
+  const ElementSet elements = GenerateCatalog(spec).value();
+  for (size_t i = 1; i < elements.size(); ++i) {
+    EXPECT_GE(elements[i - 1].size, elements[i].size);
+  }
+  // Minimum is the Pareto scale for mean 1.0 at shape 1.1.
+  const double min_size =
+      std::min_element(elements.begin(), elements.end(),
+                       [](const Element& a, const Element& b) {
+                         return a.size < b.size;
+                       })
+          ->size;
+  EXPECT_GE(min_size, 1.0 * (1.1 - 1.0) / 1.1 - 1e-12);
+}
+
+TEST(GeneratorTest, RejectsInvalidSpecs) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 0;
+  EXPECT_FALSE(GenerateCatalog(spec).ok());
+
+  spec = ExperimentSpec::IdealCase();
+  spec.mean_updates_per_object = 0.0;
+  EXPECT_FALSE(GenerateCatalog(spec).ok());
+
+  spec = ExperimentSpec::IdealCase();
+  spec.update_stddev = -1.0;
+  EXPECT_FALSE(GenerateCatalog(spec).ok());
+
+  spec = ExperimentSpec::IdealCase();
+  spec.theta = -0.1;
+  EXPECT_FALSE(GenerateCatalog(spec).ok());
+
+  spec = ExperimentSpec::IdealCase();
+  spec.size_model = SizeModel::kPareto;
+  spec.pareto_shape = 1.0;  // Mean undefined.
+  EXPECT_FALSE(GenerateCatalog(spec).ok());
+}
+
+TEST(ElementSetTest, ColumnHelpersRoundTrip) {
+  const ElementSet elements =
+      MakeElementSet({1.0, 2.0}, {0.7, 0.3}, {2.0, 5.0});
+  EXPECT_EQ(ChangeRates(elements), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(AccessProbs(elements), (std::vector<double>{0.7, 0.3}));
+  EXPECT_EQ(Sizes(elements), (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(ElementSetTest, DefaultSizeIsOne) {
+  const ElementSet elements = MakeElementSet({1.0}, {1.0});
+  EXPECT_DOUBLE_EQ(elements[0].size, 1.0);
+}
+
+}  // namespace
+}  // namespace freshen
