@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "model/freshness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/problem.h"
 #include "opt/water_filling.h"
 #include "partition/kmeans.h"
@@ -85,6 +87,64 @@ void BM_KMeansIteration(benchmark::State& state) {
                           static_cast<int64_t>(n) * 100);
 }
 BENCHMARK(BM_KMeansIteration)->Arg(10000)->Arg(100000);
+
+// Metrics hot-path overhead: these guard the "instrumentation is cheap and
+// a disabled registry is ~zero-cost" property every instrumented subsystem
+// relies on.
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench_counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsCounterAddDisabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench_counter");
+  registry.set_enabled(false);
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_MetricsCounterAddDisabled);
+
+void BM_MetricsGaugeSet(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* gauge = registry.GetGauge("bench_gauge");
+  double v = 0.0;
+  for (auto _ : state) {
+    gauge->Set(v);
+    v += 1.0;
+  }
+  benchmark::DoNotOptimize(gauge->value());
+}
+BENCHMARK(BM_MetricsGaugeSet);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("bench_histogram", obs::LatencySecondsBuckets());
+  double v = 1e-7;
+  for (auto _ : state) {
+    histogram->Record(v);
+    v = v < 1.0 ? v * 1.7 : 1e-7;
+  }
+  benchmark::DoNotOptimize(histogram->count());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_MetricsScopedSpan(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench_span", registry);
+    benchmark::DoNotOptimize(span.path().size());
+  }
+}
+BENCHMARK(BM_MetricsScopedSpan);
 
 void BM_AliasTableSample(benchmark::State& state) {
   const auto probs = ZipfProbabilities(500000, 1.0);

@@ -17,6 +17,17 @@
 //       Compare PF vs GF plans for a catalog (analytic; --simulate adds the
 //       discrete-event check).
 //
+//   metrics [--objects N] [--bandwidth B] [--periods P] [--accesses A]
+//           [--theta T] [--seed K]
+//       Run a closed-loop mirror (OnlineFreshenLoop) for P periods and dump
+//       the metrics-registry snapshot (replan counters/latency, solver
+//       iterations, sync/access/bandwidth counters, estimator-error gauges).
+//
+// Any command accepts --metrics-out FILE and --metrics-format json|prom|csv:
+// after the command runs, the registry snapshot is written to FILE (the
+// `metrics` command prints to stdout when --metrics-out is omitted). Flags
+// may be spelled --flag value or --flag=value.
+//
 // Example:
 //   freshenctl gen --objects 1000 --theta 1.2 --out catalog.csv
 //   freshenctl plan --catalog catalog.csv --bandwidth 500 --partitions 50
@@ -31,6 +42,8 @@
 #include "common/string_util.h"
 #include "freshen/freshen.h"
 #include "io/catalog_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -55,6 +68,12 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
     if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
       std::exit(2);
+    }
+    // --flag=value spelling.
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
     }
     if (IsBoolFlag(arg)) {
       flags[arg] = "1";
@@ -218,20 +237,92 @@ int RunEval(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Renders the global registry in the requested format ("json", "prom", or
+// "csv"; anything else dies).
+std::string FormatSnapshot(const obs::RegistrySnapshot& snapshot,
+                           const std::string& format) {
+  if (format == "json") return obs::FormatJson(snapshot);
+  if (format == "prom" || format == "prometheus") {
+    return obs::FormatPrometheus(snapshot);
+  }
+  if (format == "csv") return obs::FormatCsv(snapshot);
+  Die(Status::InvalidArgument("unknown --metrics-format " + format));
+}
+
+// Honors --metrics-out/--metrics-format after any command. When
+// `to_stdout_by_default` is set (the metrics command) the snapshot goes to
+// stdout when no path was given.
+void MaybeDumpMetrics(const std::map<std::string, std::string>& flags,
+                      bool to_stdout_by_default) {
+  const std::string out = GetFlag(flags, "--metrics-out", "");
+  if (out.empty() && !to_stdout_by_default) return;
+  const obs::RegistrySnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const std::string format = GetFlag(flags, "--metrics-format", "json");
+  const std::string text = FormatSnapshot(snapshot, format);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    const Status status = WriteStringToFile(text, out);
+    if (!status.ok()) Die(status);
+    std::printf("metrics written  : %s (%zu series, %s)\n", out.c_str(),
+                snapshot.samples.size(), format.c_str());
+  }
+}
+
+int RunMetrics(const std::map<std::string, std::string>& flags) {
+  ExperimentSpec spec;
+  spec.num_objects = static_cast<size_t>(GetDouble(flags, "--objects", 200));
+  spec.theta = GetDouble(flags, "--theta", 1.0);
+  spec.seed = static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+  const ElementSet truth = Unwrap(GenerateCatalog(spec));
+
+  const double bandwidth = GetDouble(
+      flags, "--bandwidth", 0.25 * static_cast<double>(spec.num_objects));
+  const int periods = static_cast<int>(GetDouble(flags, "--periods", 5));
+  OnlineFreshenLoop::Options options;
+  options.accesses_per_period = GetDouble(flags, "--accesses", 1000.0);
+  options.seed = spec.seed ^ 0x6f6c6fULL;
+  auto loop = Unwrap(OnlineFreshenLoop::Create(truth, bandwidth, options));
+
+  std::printf("objects   : %zu\n", truth.size());
+  std::printf("bandwidth : %.6g per period\n", bandwidth);
+  for (int period = 0; period < periods; ++period) {
+    const PeriodStats stats = loop.RunPeriod();
+    std::printf(
+        "period %3d: accesses=%llu syncs=%llu freshness=%.4f bandwidth=%.4g"
+        "%s\n",
+        period, (unsigned long long)stats.accesses,
+        (unsigned long long)stats.syncs, stats.perceived_freshness,
+        stats.bandwidth_spent, stats.replanned ? " [replanned]" : "");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: freshenctl <gen|plan|eval> [--flags]\n"
+                 "usage: freshenctl <gen|plan|eval|metrics> [--flags]\n"
                  "see the header of examples/freshenctl.cc for details\n");
     return 2;
   }
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
-  if (command == "gen") return RunGen(flags);
-  if (command == "plan") return RunPlan(flags);
-  if (command == "eval") return RunEval(flags);
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
+  int rc = 2;
+  if (command == "gen") {
+    rc = RunGen(flags);
+  } else if (command == "plan") {
+    rc = RunPlan(flags);
+  } else if (command == "eval") {
+    rc = RunEval(flags);
+  } else if (command == "metrics") {
+    rc = RunMetrics(flags);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  }
+  MaybeDumpMetrics(flags, /*to_stdout_by_default=*/command == "metrics");
+  return rc;
 }

@@ -4,6 +4,8 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/trace.h"
 
 namespace freshen {
 
@@ -50,7 +52,14 @@ AdaptiveFreshener::AdaptiveFreshener(std::vector<double> sizes,
       watch_time_(sizes_.size(), 0.0),
       last_sync_time_(sizes_.size(), 0.0),
       synced_before_(sizes_.size(), 0),
-      frequencies_(sizes_.size(), 0.0) {}
+      frequencies_(sizes_.size(), 0.0) {
+  obs::MetricsRegistry& registry = options_.registry != nullptr
+                                       ? *options_.registry
+                                       : obs::MetricsRegistry::Global();
+  replans_counter_ = registry.GetCounter("freshen_adaptive_replans_total");
+  replan_latency_ = registry.GetHistogram("freshen_adaptive_replan_seconds",
+                                          obs::LatencySecondsBuckets());
+}
 
 void AdaptiveFreshener::ObserveAccess(size_t element) {
   learner_.Observe(element);
@@ -102,12 +111,16 @@ Result<bool> AdaptiveFreshener::MaybeReplan(double now, bool force) {
       now - last_plan_time_ < options_.replan_every_periods) {
     return false;
   }
+  obs::ScopedSpan span("replan");
+  WallTimer timer;
   FRESHEN_ASSIGN_OR_RETURN(
       FreshenPlan plan,
       FreshenPlanner(options_.planner).Plan(BelievedCatalog(), bandwidth_));
   frequencies_ = std::move(plan.frequencies);
   last_plan_time_ = now;
   ++num_replans_;
+  replans_counter_->Increment();
+  replan_latency_->Record(timer.ElapsedSeconds());
   return true;
 }
 

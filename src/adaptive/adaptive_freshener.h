@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "core/planner.h"
 #include "model/element.h"
+#include "obs/metrics.h"
 #include "profile/learner.h"
 
 namespace freshen {
@@ -40,6 +41,9 @@ class AdaptiveFreshener {
     double replan_every_periods = 1.0;
     /// Change-rate prior used for elements with no sync evidence yet.
     double prior_change_rate = 1.0;
+    /// Metrics registry for replan counters/latency (freshen_adaptive_*).
+    /// nullptr means the process-wide obs::MetricsRegistry::Global().
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// A controller over `sizes.size()` elements with the given per-period
@@ -92,6 +96,10 @@ class AdaptiveFreshener {
   std::vector<double> frequencies_;
   double last_plan_time_ = 0.0;
   uint64_t num_replans_ = 0;
+
+  // Cached registry handles (valid for the registry's lifetime).
+  obs::Counter* replans_counter_;
+  obs::Histogram* replan_latency_;
 };
 
 }  // namespace freshen

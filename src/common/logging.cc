@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace freshen {
 namespace {
@@ -22,6 +24,45 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+// Default destination: stderr, one fwrite per line under a mutex so lines
+// from concurrent threads never interleave.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, std::string_view line) override {
+    (void)level;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+StderrLogSink& DefaultSink() {
+  static StderrLogSink* const kSink = new StderrLogSink();
+  return *kSink;
+}
+
+// nullptr means "use DefaultSink()"; swapped atomically so SetLogSink is
+// safe against concurrent logging.
+std::atomic<LogSink*> g_sink{nullptr};
+
+// "2026-08-05T12:34:56.123Z" (UTC, millisecond resolution).
+std::string Iso8601Now() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm utc{};
+  gmtime_r(&ts.tv_sec, &utc);
+  char buffer[32];
+  const int millis = static_cast<int>(ts.tv_nsec / 1000000);
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, millis);
+  return buffer;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -32,11 +73,16 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+LogSink* SetLogSink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << Iso8601Now() << " " << LevelTag(level) << " " << file
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -45,7 +91,10 @@ LogMessage::~LogMessage() {
     return;
   }
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string line = stream_.str();
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = &DefaultSink();
+  sink->Write(level_, line);
 }
 
 }  // namespace internal

@@ -1,10 +1,18 @@
-// Minimal leveled logging to stderr. Benchmarks and the simulator use this to
-// report progress without polluting stdout (which carries result tables).
+// Minimal leveled logging. Benchmarks and the simulator use this to report
+// progress without polluting stdout (which carries result tables).
+//
+// Emission is thread-safe: each log line is rendered to one string —
+// "[<ISO-8601 UTC> <level> <file>:<line>] message\n" — and handed to the
+// installed LogSink in a single call; the default sink writes it to stderr
+// with one mutex-guarded fwrite, so concurrent lines never interleave.
+// Tests install their own LogSink to capture output instead of scraping
+// stderr.
 #ifndef FRESHEN_COMMON_LOGGING_H_
 #define FRESHEN_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace freshen {
 
@@ -16,6 +24,21 @@ void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum emitted level.
 LogLevel GetLogLevel();
+
+/// Receives fully-formatted log lines (trailing newline included). Write()
+/// may be called from any thread; implementations must be self-synchronized
+/// (the default stderr sink serializes on an internal mutex).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, std::string_view line) = 0;
+};
+
+/// Installs `sink` as the destination for all subsequent log lines and
+/// returns the previously installed sink (nullptr when that was the default
+/// stderr sink). Passing nullptr restores the default. The caller keeps
+/// ownership of `sink` and must keep it alive until replaced.
+LogSink* SetLogSink(LogSink* sink);
 
 namespace internal {
 

@@ -24,6 +24,9 @@
 #include "model/element.h"        // IWYU pragma: export
 #include "model/freshness.h"      // IWYU pragma: export
 #include "model/metrics.h"        // IWYU pragma: export
+#include "obs/export.h"           // IWYU pragma: export
+#include "obs/metrics.h"          // IWYU pragma: export
+#include "obs/trace.h"            // IWYU pragma: export
 #include "opt/age_water_filling.h"  // IWYU pragma: export
 #include "opt/generic_nlp.h"      // IWYU pragma: export
 #include "opt/grouped.h"          // IWYU pragma: export

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "profile/profile.h"
 #include "rng/distributions.h"
 #include "stats/descriptive.h"
@@ -29,6 +30,11 @@ Result<OnlineFreshenLoop> OnlineFreshenLoop::Create(ElementSet truth,
   if (!(options.accesses_per_period >= 0.0)) {
     return Status::InvalidArgument("accesses_per_period must be >= 0");
   }
+  // The controller reports into the loop's registry unless its options name
+  // their own.
+  if (options.controller.registry == nullptr) {
+    options.controller.registry = options.registry;
+  }
   FRESHEN_ASSIGN_OR_RETURN(
       VersionedSource source,
       VersionedSource::Create(ChangeRates(truth), options.seed ^ 0x737263ULL));
@@ -49,7 +55,22 @@ OnlineFreshenLoop::OnlineFreshenLoop(ElementSet truth, VersionedSource source,
       controller_(
           std::make_unique<AdaptiveFreshener>(std::move(controller))),
       access_table_(std::make_unique<AliasTable>(AccessProbs(truth_))),
-      access_rng_(options.seed ^ 0x616363ULL) {}
+      access_rng_(options.seed ^ 0x616363ULL),
+      registry_(options.registry != nullptr
+                    ? options.registry
+                    : &obs::MetricsRegistry::Global()) {
+  periods_counter_ = registry_->GetCounter("freshen_mirror_periods_total");
+  syncs_counter_ = registry_->GetCounter("freshen_mirror_syncs_total");
+  accesses_counter_ = registry_->GetCounter("freshen_mirror_accesses_total");
+  fresh_accesses_counter_ =
+      registry_->GetCounter("freshen_mirror_fresh_accesses_total");
+  bandwidth_counter_ =
+      registry_->GetCounter("freshen_mirror_bandwidth_spent_total");
+  freshness_gauge_ =
+      registry_->GetGauge("freshen_mirror_perceived_freshness");
+  access_age_gauge_ = registry_->GetGauge("freshen_mirror_mean_access_age");
+  lambda_error_gauge_ = registry_->GetGauge("freshen_mirror_lambda_error");
+}
 
 Status OnlineFreshenLoop::SetTrueProfile(const std::vector<double>& weights) {
   if (weights.size() != truth_.size()) {
@@ -65,6 +86,13 @@ Status OnlineFreshenLoop::SetTrueProfile(const std::vector<double>& weights) {
 }
 
 PeriodStats OnlineFreshenLoop::RunPeriod() {
+  obs::ScopedSpan period_span("period", *registry_);
+  // Counter marks at the period boundary: PeriodStats reports this period as
+  // the delta of the registry totals.
+  const double syncs_mark = syncs_counter_->value();
+  const double accesses_mark = accesses_counter_->value();
+  const double fresh_mark = fresh_accesses_counter_->value();
+  const double bandwidth_mark = bandwidth_counter_->value();
   const double period_start = now_;
   const double period_end = now_ + 1.0;
   std::vector<LoopEvent> events;
@@ -108,20 +136,19 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
             });
 
   PeriodStats stats;
-  uint64_t fresh_accesses = 0;
   KahanSum age_sum;
   for (const LoopEvent& event : events) {
     if (event.is_sync) {
       const bool changed = mirror_.Sync(event.element, event.time, source_);
       controller_->ObserveSync(event.element, changed, event.time);
-      ++stats.syncs;
-      stats.bandwidth_spent += truth_[event.element].size;
+      syncs_counter_->Increment();
+      bandwidth_counter_->Add(truth_[event.element].size);
     } else {
       source_.AdvanceTo(event.time);
       controller_->ObserveAccess(event.element);
-      ++stats.accesses;
+      accesses_counter_->Increment();
       if (mirror_.IsFresh(event.element, source_)) {
-        ++fresh_accesses;
+        fresh_accesses_counter_->Increment();
       } else {
         age_sum.Add(mirror_.Age(event.element, event.time, source_));
       }
@@ -129,18 +156,42 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   }
   source_.AdvanceTo(period_end);
   now_ = period_end;
+  periods_counter_->Increment();
 
+  stats.syncs =
+      static_cast<uint64_t>(syncs_counter_->value() - syncs_mark);
+  stats.accesses =
+      static_cast<uint64_t>(accesses_counter_->value() - accesses_mark);
+  stats.bandwidth_spent = bandwidth_counter_->value() - bandwidth_mark;
+  const double fresh_accesses = fresh_accesses_counter_->value() - fresh_mark;
   if (stats.accesses > 0) {
-    stats.perceived_freshness = static_cast<double>(fresh_accesses) /
-                                static_cast<double>(stats.accesses);
+    stats.perceived_freshness =
+        fresh_accesses / static_cast<double>(stats.accesses);
     stats.mean_access_age =
         age_sum.Total() / static_cast<double>(stats.accesses);
   }
+  freshness_gauge_->Set(stats.perceived_freshness);
+  access_age_gauge_->Set(stats.mean_access_age);
 
   controller_->EndPeriod();
   auto replanned = controller_->MaybeReplan(now_);
   FRESHEN_CHECK(replanned.ok());
   stats.replanned = *replanned;
+
+  // Estimator quality against the ground truth only the loop knows: mean
+  // relative change-rate error of the controller's believed catalog.
+  const ElementSet believed = controller_->BelievedCatalog();
+  KahanSum error_sum;
+  size_t rated = 0;
+  for (size_t i = 0; i < truth_.size(); ++i) {
+    if (truth_[i].change_rate <= 0.0) continue;
+    error_sum.Add(std::fabs(believed[i].change_rate - truth_[i].change_rate) /
+                  truth_[i].change_rate);
+    ++rated;
+  }
+  if (rated > 0) {
+    lambda_error_gauge_->Set(error_sum.Total() / static_cast<double>(rated));
+  }
   return stats;
 }
 

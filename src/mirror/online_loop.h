@@ -23,12 +23,16 @@
 #include "common/result.h"
 #include "mirror/mirror_state.h"
 #include "model/element.h"
+#include "obs/metrics.h"
 #include "rng/alias_table.h"
 #include "rng/rng.h"
 
 namespace freshen {
 
-/// One period's observable outcomes.
+/// One period's observable outcomes. The event counts (accesses, syncs,
+/// bandwidth_spent) are per-period deltas of the loop's registry counters
+/// (freshen_mirror_*) — the registry is the source of truth, this struct is
+/// the per-period view of it.
 struct PeriodStats {
   /// Fraction of this period's accesses that saw a fresh copy.
   double perceived_freshness = 0.0;
@@ -54,6 +58,10 @@ class OnlineFreshenLoop {
     double accesses_per_period = 1000.0;
     /// Seed for update/access randomness.
     uint64_t seed = 17;
+    /// Metrics registry backing the loop's counters/gauges (and, unless the
+    /// controller options name their own, the controller's too). nullptr
+    /// means the process-wide obs::MetricsRegistry::Global().
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// `truth` holds the real change rates, real profile, and sizes; only the
@@ -79,6 +87,13 @@ class OnlineFreshenLoop {
   /// The true catalog (rates/profile/sizes currently in force).
   const ElementSet& truth() const { return truth_; }
 
+  /// The registry this loop reports into.
+  obs::MetricsRegistry& registry() const { return *registry_; }
+
+  /// Point-in-time copy of every metric in the loop's registry — feed it to
+  /// an obs::MetricsSink (JSON / Prometheus / CSV) to export a run.
+  obs::RegistrySnapshot SnapshotMetrics() const { return registry_->Snapshot(); }
+
  private:
   OnlineFreshenLoop(ElementSet truth, VersionedSource source,
                     AdaptiveFreshener controller, Options options);
@@ -93,6 +108,17 @@ class OnlineFreshenLoop {
   std::unique_ptr<AliasTable> access_table_;
   Rng access_rng_;
   double now_ = 0.0;
+
+  // Registry handles (cached once; valid for the registry's lifetime).
+  obs::MetricsRegistry* registry_;
+  obs::Counter* periods_counter_;
+  obs::Counter* syncs_counter_;
+  obs::Counter* accesses_counter_;
+  obs::Counter* fresh_accesses_counter_;
+  obs::Counter* bandwidth_counter_;
+  obs::Gauge* freshness_gauge_;
+  obs::Gauge* access_age_gauge_;
+  obs::Gauge* lambda_error_gauge_;
 };
 
 }  // namespace freshen

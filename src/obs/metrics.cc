@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace freshen {
+namespace obs {
+namespace {
+
+// Serialized identity of one series: name{k1=v1,k2=v2} with labels sorted,
+// so the same label set in any order maps to the same entry.
+std::string SeriesKey(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Labels SortedLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      enabled_(enabled) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  FRESHEN_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds(count);
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[i] = edge;
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  FRESHEN_CHECK(width > 0.0 && count >= 1);
+  std::vector<double> bounds(count);
+  for (int i = 0; i < count; ++i) {
+    bounds[i] = start + width * i;
+  }
+  return bounds;
+}
+
+const std::vector<double>& LatencySecondsBuckets() {
+  // 1us .. ~107s in decade-and-a-half steps.
+  static const std::vector<double> kBuckets =
+      ExponentialBuckets(1e-6, 4.0, 14);
+  return kBuckets;
+}
+
+const std::vector<double>& IterationCountBuckets() {
+  static const std::vector<double> kBuckets = ExponentialBuckets(1.0, 2.0, 13);
+  return kBuckets;
+}
+
+const MetricSample* RegistrySnapshot::Find(const std::string& name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const MetricSample* RegistrySnapshot::Find(const std::string& name,
+                                           const Labels& labels) const {
+  const Labels sorted = SortedLabels(labels);
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.labels == sorted) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instrumentation in static destructors stays safe.
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  return *kGlobal;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    MetricKind kind, const std::string& name, const Labels& labels,
+    const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = SeriesKey(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    FRESHEN_CHECK(it->second.kind == kind);  // One kind per series name.
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = name;
+  entry.labels = SortedLabels(labels);
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter.reset(new Counter(&enabled_));
+      break;
+    case MetricKind::kGauge:
+      entry.gauge.reset(new Gauge(&enabled_));
+      break;
+    case MetricKind::kHistogram:
+      FRESHEN_CHECK(bounds != nullptr && !bounds->empty());
+      FRESHEN_CHECK(std::is_sorted(bounds->begin(), bounds->end()));
+      entry.histogram.reset(new Histogram(*bounds, &enabled_));
+      break;
+  }
+  return &entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return FindOrCreate(MetricKind::kCounter, name, labels, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  return FindOrCreate(MetricKind::kGauge, name, labels, nullptr)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds,
+                                         const Labels& labels) {
+  return FindOrCreate(MetricKind::kHistogram, name, labels, &bounds)
+      ->histogram.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snapshot;
+  snapshot.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.labels = entry.labels;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.value = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        sample.bounds = entry.histogram->bounds();
+        sample.bucket_counts = entry.histogram->BucketCounts();
+        sample.count = entry.histogram->count();
+        sample.sum = entry.histogram->sum();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace obs
+}  // namespace freshen

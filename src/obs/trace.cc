@@ -1,0 +1,39 @@
+#include "obs/trace.h"
+
+namespace freshen {
+namespace obs {
+namespace {
+
+// Innermost open span on this thread; ScopedSpan links form the stack.
+thread_local ScopedSpan* t_current_span = nullptr;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name, MetricsRegistry& registry)
+    : registry_(registry), parent_(t_current_span) {
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + std::char_traits<char>::length(name));
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = name;
+  }
+  t_current_span = this;
+}
+
+ScopedSpan::~ScopedSpan() {
+  t_current_span = parent_;
+  if (!registry_.enabled()) return;
+  registry_
+      .GetHistogram(kSpanHistogramName, LatencySecondsBuckets(),
+                    {{"span", path_}})
+      ->Record(timer_.ElapsedSeconds());
+}
+
+std::string CurrentSpanPath() {
+  return t_current_span != nullptr ? t_current_span->path() : std::string();
+}
+
+}  // namespace obs
+}  // namespace freshen

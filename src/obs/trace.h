@@ -1,0 +1,67 @@
+// freshen::obs trace spans — RAII wall-time timers that record into the
+// metrics registry and nest. Each thread keeps a span stack; a span's full
+// path is its ancestors' names joined with '/', so an exported histogram
+//
+//   freshen_trace_span_seconds{span="replan/solve/kkt_verify"}
+//
+// shows both the timing and the call hierarchy. Typical use:
+//
+//   {
+//     ScopedSpan replan("replan");          // global registry
+//     ...
+//     { ScopedSpan solve("solve"); ... }    // recorded as "replan/solve"
+//   }
+//
+// Overhead: one registry lookup (mutex + map) per span close plus a clock
+// read at each end — intended for coarse operations (a solve, a replan, a
+// simulation run), not per-element loops. With the registry disabled the
+// close is a relaxed load and nothing is recorded.
+#ifndef FRESHEN_OBS_TRACE_H_
+#define FRESHEN_OBS_TRACE_H_
+
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace freshen {
+namespace obs {
+
+/// Histogram name every span records into (label span="<path>").
+inline constexpr char kSpanHistogramName[] = "freshen_trace_span_seconds";
+
+/// RAII span: starts timing at construction, records elapsed seconds into
+/// `registry` at destruction. Not copyable/movable — bind it to a scope.
+class ScopedSpan {
+ public:
+  /// Opens a span named `name` (no '/'; it would corrupt the path) under the
+  /// calling thread's current span, in the global registry.
+  explicit ScopedSpan(const char* name)
+      : ScopedSpan(name, MetricsRegistry::Global()) {}
+
+  /// Same, recording into a specific registry.
+  ScopedSpan(const char* name, MetricsRegistry& registry);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// This span's full path ("replan/solve").
+  const std::string& path() const { return path_; }
+
+ private:
+  MetricsRegistry& registry_;
+  std::string path_;
+  WallTimer timer_;
+  ScopedSpan* parent_;  // Enclosing span on this thread, or nullptr.
+};
+
+/// The calling thread's innermost open span path ("" when none) — lets tests
+/// assert nesting without exporting.
+std::string CurrentSpanPath();
+
+}  // namespace obs
+}  // namespace freshen
+
+#endif  // FRESHEN_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 #include "common/macros.h"
 #include "common/timer.h"
 #include "model/freshness.h"
+#include "obs/trace.h"
+#include "opt/solver_metrics.h"
 #include "stats/descriptive.h"
 
 namespace freshen {
@@ -22,6 +24,8 @@ double FrequencyAt(double mu, double target_scale, double lambda) {
 Result<Allocation> AgeWaterFillingSolver::Solve(
     const CoreProblem& problem) const {
   FRESHEN_RETURN_IF_ERROR(problem.Validate());
+  static const SolverMetrics metrics = MakeSolverMetrics("age_water_filling");
+  obs::ScopedSpan span("solve");
   WallTimer timer;
 
   const size_t n = problem.size();
@@ -52,6 +56,9 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
   if (active.empty()) {
     out.objective = weighted_age(out.frequencies);
     out.solve_seconds = timer.ElapsedSeconds();
+    metrics.solves->Increment();
+    metrics.iterations->Record(0.0);
+    metrics.solve_seconds->Record(out.solve_seconds);
     return out;
   }
 
@@ -108,6 +115,11 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
   out.bandwidth_used = problem.Spend(out.frequencies);
   out.converged = true;
   out.solve_seconds = timer.ElapsedSeconds();
+  metrics.solves->Increment();
+  metrics.iterations->Record(static_cast<double>(out.iterations));
+  metrics.solve_seconds->Record(out.solve_seconds);
+  metrics.residual->Set(std::fabs(out.bandwidth_used - problem.bandwidth) /
+                        problem.bandwidth);
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include "common/macros.h"
 #include "common/timer.h"
 #include "model/freshness.h"
+#include "obs/trace.h"
+#include "opt/solver_metrics.h"
 #include "stats/descriptive.h"
 
 namespace freshen {
@@ -66,6 +68,8 @@ std::vector<double> ProjectOntoBudget(const std::vector<double>& point,
 
 Result<Allocation> GenericNlpSolver::Solve(const CoreProblem& problem) const {
   FRESHEN_RETURN_IF_ERROR(problem.Validate());
+  static const SolverMetrics metrics = MakeSolverMetrics("generic_nlp");
+  obs::ScopedSpan span("solve");
   WallTimer timer;
   const size_t n = problem.size();
 
@@ -163,6 +167,11 @@ Result<Allocation> GenericNlpSolver::Solve(const CoreProblem& problem) const {
   out.iterations = iterations;
   out.converged = converged;
   out.solve_seconds = timer.ElapsedSeconds();
+  metrics.solves->Increment();
+  metrics.iterations->Record(static_cast<double>(out.iterations));
+  metrics.solve_seconds->Record(out.solve_seconds);
+  metrics.residual->Set(
+      std::fabs(out.bandwidth_used - problem.bandwidth) / problem.bandwidth);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "model/freshness.h"
+#include "obs/trace.h"
 
 namespace freshen {
 
@@ -16,9 +17,31 @@ std::string KktReport::ToString() const {
       budget_violation, satisfied ? "yes" : "no");
 }
 
+namespace {
+
+// Registered once; updated lock-free per verification.
+struct KktMetrics {
+  obs::Counter* checks;
+  obs::Gauge* max_violation;
+};
+
+const KktMetrics& GetKktMetrics() {
+  static const KktMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return KktMetrics{
+        registry.GetCounter("freshen_solver_kkt_checks_total"),
+        registry.GetGauge("freshen_solver_kkt_max_violation")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
 KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
                     double tolerance) {
   FRESHEN_CHECK(allocation.frequencies.size() == problem.size());
+  obs::ScopedSpan span("kkt_verify");
+  GetKktMetrics().checks->Increment();
   KktReport report;
 
   // Marginal per unit of bandwidth for element i at its current frequency.
@@ -79,6 +102,10 @@ KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
   report.satisfied = report.max_stationarity_violation <= tolerance &&
                      report.max_complementarity_violation <= tolerance &&
                      report.budget_violation <= tolerance;
+  GetKktMetrics().max_violation->Set(
+      std::max({report.max_stationarity_violation,
+                report.max_complementarity_violation,
+                report.budget_violation}));
   return report;
 }
 

@@ -1,0 +1,36 @@
+// Shared instrumentation bundle for the Core Problem solvers. Each solver
+// resolves its handles once (function-local static) and then updates them
+// with lock-free atomic ops per solve — see docs/observability.md.
+#ifndef FRESHEN_OPT_SOLVER_METRICS_H_
+#define FRESHEN_OPT_SOLVER_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace freshen {
+
+/// Cached registry handles for one solver implementation (labelled
+/// solver="<name>" in the global registry).
+struct SolverMetrics {
+  obs::Counter* solves;          // freshen_solver_solves_total
+  obs::Histogram* iterations;    // freshen_solver_iterations
+  obs::Histogram* solve_seconds; // freshen_solver_solve_seconds
+  obs::Gauge* residual;          // freshen_solver_residual (relative budget
+                                 // mismatch at the returned allocation)
+};
+
+/// Registers (or looks up) the bundle for `solver`.
+inline SolverMetrics MakeSolverMetrics(const char* solver) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::Labels labels = {{"solver", solver}};
+  return SolverMetrics{
+      registry.GetCounter("freshen_solver_solves_total", labels),
+      registry.GetHistogram("freshen_solver_iterations",
+                            obs::IterationCountBuckets(), labels),
+      registry.GetHistogram("freshen_solver_solve_seconds",
+                            obs::LatencySecondsBuckets(), labels),
+      registry.GetGauge("freshen_solver_residual", labels)};
+}
+
+}  // namespace freshen
+
+#endif  // FRESHEN_OPT_SOLVER_METRICS_H_

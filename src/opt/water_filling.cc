@@ -7,6 +7,8 @@
 #include "common/macros.h"
 #include "common/timer.h"
 #include "model/freshness.h"
+#include "obs/trace.h"
+#include "opt/solver_metrics.h"
 #include "stats/descriptive.h"
 
 namespace freshen {
@@ -26,6 +28,8 @@ double FrequencyAt(double mu, double ratio, double lambda) {
 Result<Allocation> KktWaterFillingSolver::Solve(
     const CoreProblem& problem) const {
   FRESHEN_RETURN_IF_ERROR(problem.Validate());
+  static const SolverMetrics metrics = MakeSolverMetrics("water_filling");
+  obs::ScopedSpan span("solve");
   WallTimer timer;
 
   const size_t n = problem.size();
@@ -54,6 +58,9 @@ Result<Allocation> KktWaterFillingSolver::Solve(
     out.objective = problem.Objective(out.frequencies);
     out.bandwidth_used = 0.0;
     out.solve_seconds = timer.ElapsedSeconds();
+    metrics.solves->Increment();
+    metrics.iterations->Record(0.0);
+    metrics.solve_seconds->Record(out.solve_seconds);
     return out;
   }
 
@@ -138,6 +145,11 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   out.bandwidth_used = problem.Spend(out.frequencies);
   out.converged = true;
   out.solve_seconds = timer.ElapsedSeconds();
+  metrics.solves->Increment();
+  metrics.iterations->Record(static_cast<double>(out.iterations));
+  metrics.solve_seconds->Record(out.solve_seconds);
+  metrics.residual->Set(std::fabs(out.bandwidth_used - problem.bandwidth) /
+                        problem.bandwidth);
   return out;
 }
 

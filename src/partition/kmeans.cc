@@ -5,8 +5,34 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace freshen {
+namespace {
+
+// Registered once; updated lock-free per Refine call.
+struct KMeansMetrics {
+  obs::Counter* refines;
+  obs::Counter* rounds_total;
+  obs::Histogram* rounds;
+  obs::Gauge* centroid_movement;
+};
+
+const KMeansMetrics& GetKMeansMetrics() {
+  static const KMeansMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return KMeansMetrics{
+        registry.GetCounter("freshen_partition_kmeans_refines_total"),
+        registry.GetCounter("freshen_partition_kmeans_rounds_total"),
+        registry.GetHistogram("freshen_partition_kmeans_rounds",
+                              obs::IterationCountBuckets()),
+        registry.GetGauge("freshen_partition_kmeans_centroid_movement")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 KMeansRefiner::KMeansRefiner(const ElementSet& elements, Options options)
     : elements_(elements) {
@@ -44,6 +70,7 @@ Result<std::vector<Partition>> KMeansRefiner::Refine(
   if (iterations < 0) {
     return Status::InvalidArgument("iterations must be >= 0");
   }
+  obs::ScopedSpan span("kmeans_refine");
   const size_t n = elements_.size();
 
   // Current assignment: element -> cluster.
@@ -68,7 +95,11 @@ Result<std::vector<Partition>> KMeansRefiner::Refine(
   std::vector<double> cx(k), cy(k);
   std::vector<size_t> counts(k);
 
-  auto recompute_centroids = [&]() {
+  // Returns the total Euclidean distance the surviving centroids moved.
+  auto recompute_centroids = [&]() -> double {
+    const std::vector<double> old_cx = cx;
+    const std::vector<double> old_cy = cy;
+    double movement = 0.0;
     std::fill(cx.begin(), cx.end(), 0.0);
     std::fill(cy.begin(), cy.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
@@ -87,6 +118,8 @@ Result<std::vector<Partition>> KMeansRefiner::Refine(
       cx[next] = cx[j] / static_cast<double>(counts[j]);
       cy[next] = cy[j] / static_cast<double>(counts[j]);
       counts[next] = counts[j];
+      movement += std::sqrt((cx[next] - old_cx[j]) * (cx[next] - old_cx[j]) +
+                            (cy[next] - old_cy[j]) * (cy[next] - old_cy[j]));
       ++next;
     }
     if (next != k) {
@@ -96,9 +129,12 @@ Result<std::vector<Partition>> KMeansRefiner::Refine(
       cy.resize(k);
       counts.resize(k);
     }
+    return movement;
   };
 
-  recompute_centroids();
+  recompute_centroids();  // Initial centroids; movement is meaningless here.
+  int rounds = 0;
+  double total_movement = 0.0;
   for (int iter = 0; iter < iterations; ++iter) {
     bool moved = false;
     for (size_t i = 0; i < n; ++i) {
@@ -121,9 +157,15 @@ Result<std::vector<Partition>> KMeansRefiner::Refine(
         moved = true;
       }
     }
-    recompute_centroids();
+    total_movement += recompute_centroids();
+    ++rounds;
     if (!moved) break;  // Converged.
   }
+  const KMeansMetrics& metrics = GetKMeansMetrics();
+  metrics.refines->Increment();
+  metrics.rounds_total->Add(static_cast<double>(rounds));
+  metrics.rounds->Record(static_cast<double>(rounds));
+  metrics.centroid_movement->Set(total_movement);
 
   std::vector<Partition> refined(k);
   for (size_t i = 0; i < n; ++i) refined[assignment[i]].members.push_back(i);

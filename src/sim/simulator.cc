@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "model/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/alias_table.h"
 #include "rng/distributions.h"
 #include "rng/rng.h"
@@ -29,6 +32,32 @@ struct SimEvent {
   uint32_t element;
 };
 
+// Registered once; updated lock-free per Run.
+struct SimMetrics {
+  obs::Counter* runs;
+  obs::Counter* update_events;
+  obs::Counter* sync_events;
+  obs::Counter* access_events;
+  obs::Gauge* queue_depth;
+  obs::Gauge* events_per_second;
+};
+
+const SimMetrics& GetSimMetrics() {
+  static const SimMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return SimMetrics{
+        registry.GetCounter("freshen_sim_runs_total"),
+        registry.GetCounter("freshen_sim_events_total",
+                            {{"type", "update"}}),
+        registry.GetCounter("freshen_sim_events_total", {{"type", "sync"}}),
+        registry.GetCounter("freshen_sim_events_total",
+                            {{"type", "access"}}),
+        registry.GetGauge("freshen_sim_event_queue_depth"),
+        registry.GetGauge("freshen_sim_events_per_second")};
+  }();
+  return metrics;
+}
+
 }  // namespace
 
 MirrorSimulator::MirrorSimulator(ElementSet elements, SimulationConfig config)
@@ -51,6 +80,8 @@ Result<SimulationResult> MirrorSimulator::Run(
       config_.warmup_periods >= config_.horizon_periods) {
     return Status::InvalidArgument("warmup must be in [0, horizon)");
   }
+  obs::ScopedSpan run_span("sim_run");
+  WallTimer run_timer;
   const double horizon = config_.horizon_periods;
   const double warmup = config_.warmup_periods;
   const size_t n = elements_.size();
@@ -177,7 +208,20 @@ Result<SimulationResult> MirrorSimulator::Run(
       PerceivedFreshness(elements_, frequencies, config_.sync_policy);
   result.analytic_general_freshness =
       GeneralFreshness(elements_, frequencies, config_.sync_policy);
-  (void)planned_accesses;
+
+  // Whole-horizon event counts (the post-warmup subset is in `result`).
+  const SimMetrics& metrics = GetSimMetrics();
+  metrics.runs->Increment();
+  metrics.sync_events->Add(static_cast<double>(schedule.size()));
+  metrics.access_events->Add(static_cast<double>(planned_accesses));
+  metrics.update_events->Add(static_cast<double>(
+      events.size() - schedule.size() - planned_accesses));
+  metrics.queue_depth->Set(static_cast<double>(events.size()));
+  const double elapsed = run_timer.ElapsedSeconds();
+  if (elapsed > 0.0) {
+    metrics.events_per_second->Set(static_cast<double>(events.size()) /
+                                   elapsed);
+  }
   return result;
 }
 

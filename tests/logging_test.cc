@@ -1,5 +1,10 @@
 // Tests for the logging and timing utilities.
+#include <algorithm>
+#include <mutex>
+#include <regex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +13,46 @@
 
 namespace freshen {
 namespace {
+
+// Collects every emitted line; self-synchronized as the LogSink contract
+// requires.
+class CaptureSink : public LogSink {
+ public:
+  void Write(LogLevel level, std::string_view line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    levels_.push_back(level);
+    lines_.emplace_back(line);
+  }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+  std::vector<LogLevel> levels() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return levels_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+// Restores the default sink and log level even when a test fails.
+class SinkGuard {
+ public:
+  explicit SinkGuard(LogSink* sink) : level_(GetLogLevel()) {
+    SetLogSink(sink);
+  }
+  ~SinkGuard() {
+    SetLogSink(nullptr);
+    SetLogLevel(level_);
+  }
+
+ private:
+  LogLevel level_;
+};
 
 TEST(LoggingTest, LevelRoundTrips) {
   const LogLevel original = GetLogLevel();
@@ -25,6 +70,79 @@ TEST(LoggingTest, MacroStreamsArbitraryTypes) {
   FRESHEN_LOG(kDebug) << "suppressed " << 42 << " " << 1.5;
   FRESHEN_LOG(kError) << "emitted " << std::string("text");
   SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SinkReceivesFormattedLines) {
+  CaptureSink sink;
+  SinkGuard guard(&sink);
+  SetLogLevel(LogLevel::kInfo);
+  FRESHEN_LOG(kInfo) << "hello " << 42;
+  FRESHEN_LOG(kDebug) << "below threshold, dropped";
+  FRESHEN_LOG(kWarning) << "second";
+
+  const std::vector<std::string> lines = sink.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("hello 42"), std::string::npos);
+  EXPECT_NE(lines[0].find("logging_test.cc"), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '\n');
+  EXPECT_NE(lines[1].find("second"), std::string::npos);
+  const std::vector<LogLevel> levels = sink.levels();
+  EXPECT_EQ(levels[0], LogLevel::kInfo);
+  EXPECT_EQ(levels[1], LogLevel::kWarning);
+}
+
+TEST(LoggingTest, LinePrefixIsIso8601TimestampLevelAndLocation) {
+  CaptureSink sink;
+  SinkGuard guard(&sink);
+  SetLogLevel(LogLevel::kInfo);
+  FRESHEN_LOG(kError) << "payload";
+  const std::vector<std::string> lines = sink.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  // "[2026-08-05T12:34:56.789Z E <file>:<line>] payload\n"
+  const std::regex prefix(
+      R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z E [^ ]+:\d+\] payload\n$)");
+  EXPECT_TRUE(std::regex_match(lines[0], prefix)) << lines[0];
+}
+
+TEST(LoggingTest, ConcurrentLoggingKeepsLinesIntact) {
+  CaptureSink sink;
+  SinkGuard guard(&sink);
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        FRESHEN_LOG(kInfo) << "thread " << t << " line " << i << " end";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::vector<std::string> lines = sink.lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kLines);
+  // Every line arrived whole: exactly one newline, at the end, and the full
+  // "thread <t> line <i> end" payload present.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1) << line;
+    EXPECT_EQ(line.back(), '\n') << line;
+    EXPECT_NE(line.find(" end"), std::string::npos) << line;
+  }
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPreviousAndRestores) {
+  CaptureSink first;
+  CaptureSink second;
+  // Default installed -> returns nullptr.
+  LogSink* previous = SetLogSink(&first);
+  EXPECT_EQ(previous, nullptr);
+  EXPECT_EQ(SetLogSink(&second), &first);
+  SetLogLevel(LogLevel::kInfo);
+  FRESHEN_LOG(kInfo) << "to second";
+  EXPECT_EQ(SetLogSink(nullptr), &second);  // Restore default.
+  EXPECT_TRUE(first.lines().empty());
+  ASSERT_EQ(second.lines().size(), 1u);
 }
 
 TEST(TimerTest, ElapsedIsMonotoneAndRestartable) {

@@ -8,6 +8,7 @@
 #include "mirror/online_loop.h"
 #include "model/freshness.h"
 #include "model/metrics.h"
+#include "obs/metrics.h"
 #include "workload/generator.h"
 
 namespace freshen {
@@ -186,6 +187,59 @@ TEST(OnlineLoopTest, TracksProfileDriftWithDecay) {
     if (period >= 20) recovered += stats.perceived_freshness / 5.0;
   }
   EXPECT_GT(recovered, just_after);
+}
+
+TEST(OnlineLoopTest, StatsAgreeWithRegistryCountersToTheLastSync) {
+  // PeriodStats is defined as the per-period delta of the loop's registry
+  // counters; accumulated over a run, the two accountings must agree
+  // exactly — bandwidth to the last synced byte, events to the last sync.
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 70;
+  spec.syncs_per_period = 35.0;
+  spec.size_model = SizeModel::kPareto;  // Sizes vary: bandwidth != #syncs.
+  const ElementSet truth = GenerateCatalog(spec).value();
+
+  obs::MetricsRegistry registry;
+  OnlineFreshenLoop::Options options = LoopOptions();
+  options.registry = &registry;
+  auto loop = OnlineFreshenLoop::Create(truth, 35.0, options).value();
+
+  double bandwidth_from_stats = 0.0;
+  uint64_t syncs_from_stats = 0;
+  uint64_t accesses_from_stats = 0;
+  for (int period = 0; period < 5; ++period) {
+    const PeriodStats stats = loop.RunPeriod();
+    bandwidth_from_stats += stats.bandwidth_spent;
+    syncs_from_stats += stats.syncs;
+    accesses_from_stats += stats.accesses;
+  }
+
+  const obs::RegistrySnapshot snapshot = loop.SnapshotMetrics();
+  const obs::MetricSample* bandwidth =
+      snapshot.Find("freshen_mirror_bandwidth_spent_total");
+  ASSERT_NE(bandwidth, nullptr);
+  EXPECT_DOUBLE_EQ(bandwidth->value, bandwidth_from_stats);
+  EXPECT_GT(bandwidth->value, 0.0);
+
+  const obs::MetricSample* syncs =
+      snapshot.Find("freshen_mirror_syncs_total");
+  ASSERT_NE(syncs, nullptr);
+  EXPECT_DOUBLE_EQ(syncs->value, static_cast<double>(syncs_from_stats));
+
+  const obs::MetricSample* accesses =
+      snapshot.Find("freshen_mirror_accesses_total");
+  ASSERT_NE(accesses, nullptr);
+  EXPECT_DOUBLE_EQ(accesses->value,
+                   static_cast<double>(accesses_from_stats));
+
+  const obs::MetricSample* periods =
+      snapshot.Find("freshen_mirror_periods_total");
+  ASSERT_NE(periods, nullptr);
+  EXPECT_DOUBLE_EQ(periods->value, 5.0);
+
+  // An isolated registry means none of this leaked into the global one...
+  // and the controller reported its replans into the same local registry.
+  ASSERT_NE(snapshot.Find("freshen_adaptive_replans_total"), nullptr);
 }
 
 TEST(OnlineLoopTest, RejectsInvalidInput) {

@@ -1,0 +1,327 @@
+// Tests for the freshen::obs subsystem: registry semantics, concurrent
+// updates, span nesting, exporter golden output, and the end-to-end
+// "OnlineFreshenLoop run exports everything operators need" guarantee.
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mirror/online_loop.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+using obs::Labels;
+using obs::MetricsRegistry;
+
+TEST(MetricsRegistryTest, SameSeriesReturnsSamePointer) {
+  MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("freshen_test_total");
+  obs::Counter* b = registry.GetCounter("freshen_test_total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Different labels are a different series; label order is irrelevant.
+  obs::Counter* labelled = registry.GetCounter(
+      "freshen_test_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_NE(labelled, a);
+  EXPECT_EQ(labelled, registry.GetCounter("freshen_test_total",
+                                          {{"b", "2"}, {"a", "1"}}));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, CounterGaugeSemantics) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  counter->Increment();
+  counter->Add(2.5);
+  EXPECT_DOUBLE_EQ(counter->value(), 3.5);
+
+  obs::Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(7.0);
+  gauge->Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), -1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreInclusiveUpperEdges) {
+  MetricsRegistry registry;
+  obs::Histogram* histogram = registry.GetHistogram("h", {1.0, 2.0});
+  histogram->Record(0.5);   // <= 1 -> bucket 0.
+  histogram->Record(1.0);   // == edge -> bucket 0 (inclusive).
+  histogram->Record(1.5);   // bucket 1.
+  histogram->Record(99.0);  // overflow bucket.
+  const std::vector<uint64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(histogram->count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 102.0);
+}
+
+TEST(MetricsRegistryTest, BucketHelpers) {
+  const std::vector<double> exp = obs::ExponentialBuckets(1.0, 2.0, 4);
+  EXPECT_EQ(exp, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const std::vector<double> lin = obs::LinearBuckets(0.0, 5.0, 3);
+  EXPECT_EQ(lin, (std::vector<double>{0.0, 5.0, 10.0}));
+  EXPECT_TRUE(std::is_sorted(obs::LatencySecondsBuckets().begin(),
+                             obs::LatencySecondsBuckets().end()));
+  EXPECT_TRUE(std::is_sorted(obs::IterationCountBuckets().begin(),
+                             obs::IterationCountBuckets().end()));
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  obs::Histogram* histogram =
+      registry.GetHistogram("h", obs::LinearBuckets(0.0, 1.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Increment();
+        histogram->Record(static_cast<double>(t % 4));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(counter->value(),
+                   static_cast<double>(kThreads) * kIncrements);
+  EXPECT_EQ(histogram->count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : histogram->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, histogram->count());
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryDropsUpdatesAndResetKeepsHandles) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  obs::Gauge* gauge = registry.GetGauge("g");
+  obs::Histogram* histogram = registry.GetHistogram("h", {1.0});
+
+  registry.set_enabled(false);
+  counter->Increment();
+  gauge->Set(3.0);
+  histogram->Record(0.5);
+  EXPECT_DOUBLE_EQ(counter->value(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(histogram->count(), 0u);
+
+  registry.set_enabled(true);
+  counter->Add(5.0);
+  EXPECT_DOUBLE_EQ(counter->value(), 5.0);
+  registry.Reset();
+  // Cached handles stay valid and usable after Reset.
+  EXPECT_DOUBLE_EQ(counter->value(), 0.0);
+  counter->Increment();
+  EXPECT_DOUBLE_EQ(counter->value(), 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotFind) {
+  MetricsRegistry registry;
+  registry.GetCounter("a", {{"k", "v"}})->Add(2.0);
+  registry.GetGauge("b")->Set(1.0);
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot.Find("a"), nullptr);
+  EXPECT_EQ(snapshot.Find("a")->kind, obs::MetricKind::kCounter);
+  ASSERT_NE(snapshot.Find("a", {{"k", "v"}}), nullptr);
+  EXPECT_EQ(snapshot.Find("a", {{"k", "other"}}), nullptr);
+  EXPECT_EQ(snapshot.Find("missing"), nullptr);
+}
+
+TEST(ScopedSpanTest, NestedSpansBuildHierarchicalPaths) {
+  MetricsRegistry registry;
+  EXPECT_EQ(obs::CurrentSpanPath(), "");
+  {
+    obs::ScopedSpan outer("replan", registry);
+    EXPECT_EQ(outer.path(), "replan");
+    EXPECT_EQ(obs::CurrentSpanPath(), "replan");
+    {
+      obs::ScopedSpan middle("solve", registry);
+      EXPECT_EQ(middle.path(), "replan/solve");
+      obs::ScopedSpan inner("kkt_verify", registry);
+      EXPECT_EQ(inner.path(), "replan/solve/kkt_verify");
+      EXPECT_EQ(obs::CurrentSpanPath(), "replan/solve/kkt_verify");
+    }
+    EXPECT_EQ(obs::CurrentSpanPath(), "replan");
+  }
+  EXPECT_EQ(obs::CurrentSpanPath(), "");
+
+  // Every close recorded one observation under its full path.
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  for (const char* path : {"replan", "replan/solve",
+                           "replan/solve/kkt_verify"}) {
+    const obs::MetricSample* sample =
+        snapshot.Find(obs::kSpanHistogramName, {{"span", path}});
+    ASSERT_NE(sample, nullptr) << path;
+    EXPECT_EQ(sample->count, 1u) << path;
+  }
+}
+
+TEST(ScopedSpanTest, SpanStacksArePerThread) {
+  MetricsRegistry registry;
+  obs::ScopedSpan outer("main_thread", registry);
+  std::string other_thread_path;
+  std::thread worker([&] {
+    obs::ScopedSpan span("worker", registry);
+    other_thread_path = span.path();
+  });
+  worker.join();
+  // The worker's span did not nest under this thread's open span.
+  EXPECT_EQ(other_thread_path, "worker");
+}
+
+// A small fixed registry whose export output is compared byte-for-byte.
+MetricsRegistry& GoldenRegistry() {
+  static MetricsRegistry* const registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetHistogram("freshen_test_latency", {1.0, 2.0});
+    r->GetHistogram("freshen_test_latency", {1.0, 2.0})->Record(0.5);
+    r->GetHistogram("freshen_test_latency", {1.0, 2.0})->Record(1.5);
+    r->GetHistogram("freshen_test_latency", {1.0, 2.0})->Record(5.0);
+    r->GetCounter("freshen_test_requests_total", {{"kind", "unit"}})
+        ->Add(3.0);
+    r->GetGauge("freshen_test_temperature")->Set(1.5);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(ExportTest, JsonGolden) {
+  const std::string expected = R"({"metrics":[
+  {"name":"freshen_test_latency","type":"histogram","labels":{},"count":3,"sum":7,"buckets":[{"le":"1","count":1},{"le":"2","count":2},{"le":"+Inf","count":3}]},
+  {"name":"freshen_test_requests_total","type":"counter","labels":{"kind":"unit"},"value":3},
+  {"name":"freshen_test_temperature","type":"gauge","labels":{},"value":1.5}
+]}
+)";
+  EXPECT_EQ(obs::FormatJson(GoldenRegistry().Snapshot()), expected);
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE freshen_test_latency histogram\n"
+      "freshen_test_latency_bucket{le=\"1\"} 1\n"
+      "freshen_test_latency_bucket{le=\"2\"} 2\n"
+      "freshen_test_latency_bucket{le=\"+Inf\"} 3\n"
+      "freshen_test_latency_sum 7\n"
+      "freshen_test_latency_count 3\n"
+      "# TYPE freshen_test_requests_total counter\n"
+      "freshen_test_requests_total{kind=\"unit\"} 3\n"
+      "# TYPE freshen_test_temperature gauge\n"
+      "freshen_test_temperature 1.5\n";
+  EXPECT_EQ(obs::FormatPrometheus(GoldenRegistry().Snapshot()), expected);
+}
+
+TEST(ExportTest, CsvGolden) {
+  const std::string expected =
+      "metric,labels,type,value,count,sum\n"
+      "freshen_test_latency,,histogram,,3,7\n"
+      "freshen_test_requests_total,kind=unit,counter,3,,\n"
+      "freshen_test_temperature,,gauge,1.5,,\n";
+  EXPECT_EQ(obs::FormatCsv(GoldenRegistry().Snapshot()), expected);
+}
+
+TEST(ExportTest, SinksWriteTheirFormat) {
+  std::ostringstream json_out;
+  std::ostringstream prom_out;
+  std::ostringstream csv_out;
+  obs::JsonSink json_sink(json_out);
+  obs::PrometheusSink prom_sink(prom_out);
+  obs::CsvSink csv_sink(csv_out);
+  obs::NullSink null_sink;
+  const obs::RegistrySnapshot snapshot = GoldenRegistry().Snapshot();
+  EXPECT_TRUE(json_sink.Export(snapshot).ok());
+  EXPECT_TRUE(prom_sink.Export(snapshot).ok());
+  EXPECT_TRUE(csv_sink.Export(snapshot).ok());
+  EXPECT_TRUE(null_sink.Export(snapshot).ok());
+  EXPECT_EQ(json_out.str(), obs::FormatJson(snapshot));
+  EXPECT_EQ(prom_out.str(), obs::FormatPrometheus(snapshot));
+  EXPECT_EQ(csv_out.str(), obs::FormatCsv(snapshot));
+
+  // MetricsSink is the pluggable seam: any sink consumes any snapshot.
+  obs::MetricsSink* sink = &json_sink;
+  EXPECT_TRUE(sink->Export(snapshot).ok());
+}
+
+// Acceptance: one full OnlineFreshenLoop run must export, at minimum, the
+// replan count + latency histogram, a solver iteration histogram, the
+// sync/access counters, the bandwidth-spent counter, and the estimator
+// lambda-error gauge.
+TEST(ObsIntegrationTest, OnlineLoopRunExportsOperationalMetrics) {
+  MetricsRegistry::Global().Reset();
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 60;
+  spec.syncs_per_period = 30.0;
+  const ElementSet truth = GenerateCatalog(spec).value();
+  OnlineFreshenLoop::Options options;
+  options.accesses_per_period = 1000.0;
+  options.controller.prior_change_rate = 2.0;
+  options.seed = 4;
+  auto loop = OnlineFreshenLoop::Create(truth, 30.0, options).value();
+  for (int period = 0; period < 3; ++period) loop.RunPeriod();
+
+  const obs::RegistrySnapshot snapshot = loop.SnapshotMetrics();
+  const obs::MetricSample* replans =
+      snapshot.Find("freshen_adaptive_replans_total");
+  ASSERT_NE(replans, nullptr);
+  EXPECT_GE(replans->value, 3.0);  // Initial plan + one per period.
+
+  const obs::MetricSample* replan_latency =
+      snapshot.Find("freshen_adaptive_replan_seconds");
+  ASSERT_NE(replan_latency, nullptr);
+  EXPECT_EQ(replan_latency->kind, obs::MetricKind::kHistogram);
+  EXPECT_GE(replan_latency->count, 3u);
+
+  const obs::MetricSample* solver_iterations = snapshot.Find(
+      "freshen_solver_iterations", {{"solver", "water_filling"}});
+  ASSERT_NE(solver_iterations, nullptr);
+  EXPECT_EQ(solver_iterations->kind, obs::MetricKind::kHistogram);
+  EXPECT_GE(solver_iterations->count, 3u);
+  EXPECT_GT(solver_iterations->sum, 0.0);
+
+  const obs::MetricSample* syncs =
+      snapshot.Find("freshen_mirror_syncs_total");
+  ASSERT_NE(syncs, nullptr);
+  EXPECT_GT(syncs->value, 0.0);
+  const obs::MetricSample* accesses =
+      snapshot.Find("freshen_mirror_accesses_total");
+  ASSERT_NE(accesses, nullptr);
+  EXPECT_GT(accesses->value, 0.0);
+  const obs::MetricSample* bandwidth =
+      snapshot.Find("freshen_mirror_bandwidth_spent_total");
+  ASSERT_NE(bandwidth, nullptr);
+  EXPECT_GT(bandwidth->value, 0.0);
+  const obs::MetricSample* lambda_error =
+      snapshot.Find("freshen_mirror_lambda_error");
+  ASSERT_NE(lambda_error, nullptr);
+  EXPECT_GT(lambda_error->value, 0.0);
+
+  // The span hierarchy is visible in the export: the initial plan solved
+  // outside any period ("replan/solve"), while every boundary replan nested
+  // under the running period ("period/replan/solve").
+  const obs::MetricSample* initial_solve =
+      snapshot.Find(obs::kSpanHistogramName, {{"span", "replan/solve"}});
+  ASSERT_NE(initial_solve, nullptr);
+  EXPECT_EQ(initial_solve->count, 1u);
+  const obs::MetricSample* period_solve = snapshot.Find(
+      obs::kSpanHistogramName, {{"span", "period/replan/solve"}});
+  ASSERT_NE(period_solve, nullptr);
+  EXPECT_GE(period_solve->count, 3u);
+
+  // And all of it serializes in every wire format without dying.
+  EXPECT_FALSE(obs::FormatJson(snapshot).empty());
+  EXPECT_FALSE(obs::FormatPrometheus(snapshot).empty());
+  EXPECT_FALSE(obs::FormatCsv(snapshot).empty());
+}
+
+}  // namespace
+}  // namespace freshen
