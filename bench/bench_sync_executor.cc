@@ -1,0 +1,178 @@
+// Sync-executor throughput bench. Two questions:
+//   1. How does executor throughput (tasks/sec of wall time) scale with pool
+//      size and queue depth against a lossy, jittery SimulatedSource?
+//   2. Does routing the online loop through a PerfectSource executor cost
+//      anything versus the inline-sync path (the "zero regression" check)?
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_writer.h"
+#include "mirror/online_loop.h"
+#include "obs/metrics.h"
+#include "sync/executor.h"
+#include "sync/source.h"
+
+namespace {
+
+using namespace freshen;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// SimulatedSource computes latency as a number without consuming wall time
+// (that's what makes tests deterministic). For a throughput bench the fetch
+// must really occupy the worker, so this wrapper sleeps the sampled latency.
+class SleepingSource final : public sync::Source {
+ public:
+  explicit SleepingSource(sync::SimulatedSource inner)
+      : inner_(std::move(inner)) {}
+
+  sync::FetchResult Fetch(const sync::FetchRequest& request) override {
+    const sync::FetchResult result = inner_.Fetch(request);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(result.latency_seconds));
+    return result;
+  }
+  const char* name() const override { return "sleeping"; }
+
+ private:
+  sync::SimulatedSource inner_;
+};
+
+std::vector<sync::SyncTask> MakeBatch(size_t tasks) {
+  std::vector<sync::SyncTask> batch;
+  batch.reserve(tasks);
+  for (size_t i = 0; i < tasks; ++i) {
+    batch.push_back(
+        {i % 512, static_cast<double>(i) / static_cast<double>(tasks), 1.0});
+  }
+  return batch;
+}
+
+// Runs `batches` Execute calls and returns wall-clock tasks/sec.
+struct ThroughputResult {
+  double tasks_per_second = 0.0;
+  uint64_t applied = 0;
+  uint64_t failed = 0;
+  uint64_t dropped = 0;
+};
+
+ThroughputResult MeasureThroughput(size_t pool_size, size_t queue_capacity,
+                                   size_t tasks_per_batch, int batches) {
+  obs::MetricsRegistry registry;
+  sync::SimulatedSource::Options source_options;
+  source_options.base_latency_seconds = 100e-6;
+  source_options.mean_jitter_seconds = 100e-6;
+  source_options.error_rate = 0.05;
+  SleepingSource source(sync::SimulatedSource::Create(source_options).value());
+
+  sync::SyncExecutor::Options options;
+  options.num_threads = pool_size;
+  options.queue_capacity = queue_capacity;
+  options.registry = &registry;
+  auto executor = sync::SyncExecutor::Create(&source, options).value();
+
+  ThroughputResult result;
+  const double start = NowSeconds();
+  for (int batch = 0; batch < batches; ++batch) {
+    executor->Execute(MakeBatch(tasks_per_batch));
+    result.applied += executor->last_stats().applied;
+    result.failed += executor->last_stats().failed;
+    result.dropped += executor->last_stats().dropped;
+  }
+  const double elapsed = NowSeconds() - start;
+  result.tasks_per_second =
+      static_cast<double>(tasks_per_batch) * batches / elapsed;
+  return result;
+}
+
+// One period-loop run to completion; returns wall seconds.
+double TimeLoop(const ElementSet& truth, sync::SyncExecutor* executor,
+                int periods, double* pf_sum) {
+  obs::MetricsRegistry registry;
+  OnlineFreshenLoop::Options options;
+  options.accesses_per_period = 2000.0;
+  options.seed = 1234;
+  options.registry = &registry;
+  options.executor = executor;
+  auto loop = OnlineFreshenLoop::Create(truth, /*bandwidth=*/80.0, options);
+  if (!loop.ok()) {
+    std::fprintf(stderr, "loop creation failed: %s\n",
+                 loop.status().ToString().c_str());
+    std::abort();
+  }
+  *pf_sum = 0.0;
+  const double start = NowSeconds();
+  for (int period = 0; period < periods; ++period) {
+    *pf_sum += loop.value().RunPeriod().perceived_freshness;
+  }
+  return NowSeconds() - start;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::QuickMode();
+  const size_t tasks_per_batch = quick ? 500 : 2000;
+  const int batches = quick ? 4 : 16;
+
+  std::printf("== Sync executor throughput ==\n");
+  std::printf("sleeping SimulatedSource, ~200us mean fetch, 5%% errors; "
+              "%zu tasks x %d batches per cell\n\n",
+              tasks_per_batch, batches);
+
+  TableWriter scaling({"pool", "queue", "tasks/sec", "applied", "failed",
+                       "dropped"});
+  for (size_t pool : {1u, 2u, 4u, 8u}) {
+    for (size_t queue : {64u, 1024u}) {
+      const ThroughputResult r =
+          MeasureThroughput(pool, queue, tasks_per_batch, batches);
+      scaling.AddRow({std::to_string(pool), std::to_string(queue),
+                      std::to_string(static_cast<long long>(r.tasks_per_second)),
+                      std::to_string(r.applied), std::to_string(r.failed),
+                      std::to_string(r.dropped)});
+    }
+  }
+  std::printf("%s\n", scaling.ToText().c_str());
+
+  std::printf("== PerfectSource fast path vs inline sync ==\n");
+  std::printf("same loop seed; the executor path must not regress\n\n");
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = quick ? 200 : 1000;
+  const ElementSet truth = bench::MustCatalog(spec);
+  const int periods = quick ? 10 : 40;
+
+  double inline_pf = 0.0;
+  const double inline_seconds = TimeLoop(truth, nullptr, periods, &inline_pf);
+
+  sync::PerfectSource perfect;
+  obs::MetricsRegistry executor_registry;
+  sync::SyncExecutor::Options executor_options;
+  executor_options.registry = &executor_registry;
+  auto executor =
+      sync::SyncExecutor::Create(&perfect, executor_options).value();
+  double executor_pf = 0.0;
+  const double executor_seconds =
+      TimeLoop(truth, executor.get(), periods, &executor_pf);
+
+  TableWriter parity({"path", "periods", "wall sec", "mean PF"});
+  parity.AddRow({"inline", std::to_string(periods),
+                 std::to_string(inline_seconds),
+                 std::to_string(inline_pf / periods)});
+  parity.AddRow({"executor (perfect)", std::to_string(periods),
+                 std::to_string(executor_seconds),
+                 std::to_string(executor_pf / periods)});
+  std::printf("%s\n", parity.ToText().c_str());
+  std::printf("PF parity: %s  (overhead: %.1f%%)\n",
+              inline_pf == executor_pf ? "EXACT" : "MISMATCH",
+              100.0 * (executor_seconds - inline_seconds) /
+                  (inline_seconds > 0 ? inline_seconds : 1.0));
+  return inline_pf == executor_pf ? 0 : 1;
+}

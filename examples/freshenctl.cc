@@ -23,6 +23,16 @@
 //       the metrics-registry snapshot (replan counters/latency, solver
 //       iterations, sync/access/bandwidth counters, estimator-error gauges).
 //
+//   sync-drill [--objects N] [--bandwidth B] [--periods P] [--accesses A]
+//              [--error-rate E] [--stall-rate S] [--latency-mean L]
+//              [--pool T] [--queue Q] [--retries R] [--seed K]
+//       Fault drill for the sync executor: run the same closed loop three
+//       ways — inline syncs, a PerfectSource executor (parity check), and a
+//       fault-injecting SimulatedSource executor — and print the per-period
+//       degradation (failed/dropped/breaker-skipped syncs, wasted bandwidth,
+//       freshness). The faulted run reports into the global registry, so
+//       --metrics-out exports all freshen_sync_* series.
+//
 // Any command accepts --metrics-out FILE and --metrics-format json|prom|csv:
 // after the command runs, the registry snapshot is written to FILE (the
 // `metrics` command prints to stdout when --metrics-out is omitted). Flags
@@ -38,8 +48,10 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
+#include "common/table_writer.h"
 #include "freshen/freshen.h"
 #include "io/catalog_io.h"
 #include "obs/export.h"
@@ -299,12 +311,125 @@ int RunMetrics(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int RunSyncDrill(const std::map<std::string, std::string>& flags) {
+  ExperimentSpec spec;
+  spec.num_objects = static_cast<size_t>(GetDouble(flags, "--objects", 200));
+  spec.theta = GetDouble(flags, "--theta", 1.0);
+  spec.seed = static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+  const ElementSet truth = Unwrap(GenerateCatalog(spec));
+
+  const double bandwidth = GetDouble(
+      flags, "--bandwidth", 0.25 * static_cast<double>(spec.num_objects));
+  const int periods = static_cast<int>(GetDouble(flags, "--periods", 8));
+  const uint64_t loop_seed = spec.seed ^ 0x6f6c6fULL;
+
+  const auto make_loop_options = [&](obs::MetricsRegistry* registry,
+                                     sync::SyncExecutor* executor) {
+    OnlineFreshenLoop::Options options;
+    options.accesses_per_period = GetDouble(flags, "--accesses", 1000.0);
+    options.seed = loop_seed;
+    options.registry = registry;
+    options.executor = executor;
+    return options;
+  };
+  const auto make_executor_options = [&](obs::MetricsRegistry* registry) {
+    sync::SyncExecutor::Options options;
+    options.num_threads =
+        static_cast<size_t>(GetDouble(flags, "--pool", 4));
+    options.queue_capacity =
+        static_cast<size_t>(GetDouble(flags, "--queue", 1024));
+    options.retry.max_attempts =
+        static_cast<uint32_t>(GetDouble(flags, "--retries", 2));
+    options.seed = spec.seed ^ 0x73796eULL;
+    options.registry = registry;
+    return options;
+  };
+
+  // Pass 1: the inline baseline, in a private registry.
+  obs::MetricsRegistry inline_registry;
+  auto inline_loop = Unwrap(OnlineFreshenLoop::Create(
+      truth, bandwidth, make_loop_options(&inline_registry, nullptr)));
+  std::vector<PeriodStats> inline_periods;
+  for (int period = 0; period < periods; ++period) {
+    inline_periods.push_back(inline_loop.RunPeriod());
+  }
+
+  // Pass 2: the PerfectSource executor must reproduce pass 1 bit for bit.
+  obs::MetricsRegistry perfect_registry;
+  sync::PerfectSource perfect;
+  auto perfect_executor = Unwrap(sync::SyncExecutor::Create(
+      &perfect, make_executor_options(&perfect_registry)));
+  auto perfect_loop = Unwrap(OnlineFreshenLoop::Create(
+      truth, bandwidth,
+      make_loop_options(&perfect_registry, perfect_executor.get())));
+  bool parity = true;
+  for (int period = 0; period < periods; ++period) {
+    const PeriodStats stats = perfect_loop.RunPeriod();
+    const PeriodStats& base = inline_periods[static_cast<size_t>(period)];
+    parity = parity &&
+             stats.perceived_freshness == base.perceived_freshness &&
+             stats.mean_access_age == base.mean_access_age &&
+             stats.accesses == base.accesses && stats.syncs == base.syncs &&
+             stats.bandwidth_spent == base.bandwidth_spent;
+  }
+
+  // Pass 3: the fault drill, in the global registry so --metrics-out
+  // exports every freshen_sync_* series.
+  sync::SimulatedSource::Options source_options;
+  source_options.error_rate = GetDouble(flags, "--error-rate", 0.3);
+  source_options.stall_rate = GetDouble(flags, "--stall-rate", 0.05);
+  source_options.mean_jitter_seconds =
+      GetDouble(flags, "--latency-mean", 0.008);
+  source_options.seed = spec.seed ^ 0x647268ULL;
+  sync::SimulatedSource faulty = Unwrap(
+      sync::SimulatedSource::Create(source_options));
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  auto faulted_executor = Unwrap(
+      sync::SyncExecutor::Create(&faulty, make_executor_options(&global)));
+  auto faulted_loop = Unwrap(OnlineFreshenLoop::Create(
+      truth, bandwidth, make_loop_options(&global, faulted_executor.get())));
+
+  std::printf("objects    : %zu\n", truth.size());
+  std::printf("bandwidth  : %.6g per period\n", bandwidth);
+  std::printf("faults     : error-rate=%.3g stall-rate=%.3g\n",
+              source_options.error_rate, source_options.stall_rate);
+  std::printf("parity check (PerfectSource vs inline): %s\n",
+              parity ? "OK" : "MISMATCH");
+
+  TableWriter table({"period", "PF clean", "PF faulted", "failed", "dropped",
+                     "skipped", "wasted bw", "breaker"});
+  uint64_t total_failed = 0;
+  double total_wasted = 0.0;
+  for (int period = 0; period < periods; ++period) {
+    const PeriodStats stats = faulted_loop.RunPeriod();
+    const PeriodStats& base = inline_periods[static_cast<size_t>(period)];
+    total_failed += stats.failed_syncs;
+    total_wasted += stats.wasted_bandwidth;
+    table.AddRow({std::to_string(period), FormatDouble(base.perceived_freshness, 4),
+                  FormatDouble(stats.perceived_freshness, 4),
+                  std::to_string(stats.failed_syncs),
+                  std::to_string(stats.dropped_syncs),
+                  std::to_string(stats.breaker_skipped_syncs),
+                  FormatDouble(stats.wasted_bandwidth, 2),
+                  sync::BreakerStateName(
+                      faulted_executor->breaker().state())});
+  }
+  std::printf("%s", table.ToText().c_str());
+  std::printf("totals     : failed=%llu wasted-bandwidth=%.4g "
+              "breaker-opens=%llu\n",
+              (unsigned long long)total_failed, total_wasted,
+              (unsigned long long)faulted_executor->breaker()
+                  .open_transitions());
+  return parity ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: freshenctl <gen|plan|eval|metrics> [--flags]\n"
+                 "usage: freshenctl <gen|plan|eval|metrics|sync-drill>"
+                 " [--flags]\n"
                  "see the header of examples/freshenctl.cc for details\n");
     return 2;
   }
@@ -319,6 +444,8 @@ int main(int argc, char** argv) {
     rc = RunEval(flags);
   } else if (command == "metrics") {
     rc = RunMetrics(flags);
+  } else if (command == "sync-drill") {
+    rc = RunSyncDrill(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;

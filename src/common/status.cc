@@ -20,6 +20,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -51,6 +57,18 @@ Status Status::Unimplemented(std::string message) {
 
 Status Status::Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+
+Status Status::Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+
+Status Status::DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+Status Status::ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 std::string Status::ToString() const {

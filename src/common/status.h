@@ -19,6 +19,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code, e.g.
@@ -55,6 +58,12 @@ class Status {
   static Status Unimplemented(std::string message);
   /// Returns an Internal status with the given message.
   static Status Internal(std::string message);
+  /// Returns an Unavailable status (transient failure; retrying may help).
+  static Status Unavailable(std::string message);
+  /// Returns a DeadlineExceeded status (the operation timed out).
+  static Status DeadlineExceeded(std::string message);
+  /// Returns a ResourceExhausted status (a bounded resource is full).
+  static Status ResourceExhausted(std::string message);
 
   /// True when the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -45,6 +45,10 @@
 #include "schedule/schedule.h"    // IWYU pragma: export
 #include "selection/selection.h"  // IWYU pragma: export
 #include "sim/simulator.h"        // IWYU pragma: export
+#include "sync/circuit_breaker.h"  // IWYU pragma: export
+#include "sync/executor.h"        // IWYU pragma: export
+#include "sync/retry.h"           // IWYU pragma: export
+#include "sync/source.h"          // IWYU pragma: export
 #include "workload/generator.h"   // IWYU pragma: export
 #include "workload/spec.h"        // IWYU pragma: export
 

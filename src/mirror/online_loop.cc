@@ -95,11 +95,13 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   const double bandwidth_mark = bandwidth_counter_->value();
   const double period_start = now_;
   const double period_end = now_ + 1.0;
+  PeriodStats stats;
   std::vector<LoopEvent> events;
 
   // Due syncs: each element fires at interval 1/f from its last sync (or
   // from the period start if it has never been synced).
   const std::vector<double>& freqs = controller_->frequencies();
+  std::vector<sync::SyncTask> due;
   for (size_t i = 0; i < truth_.size(); ++i) {
     const double f = freqs[i];
     if (f <= 0.0) continue;
@@ -111,8 +113,39 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
                                      static_cast<double>(truth_.size()));
     for (; t < period_end; t += interval) {
       if (t >= period_start) {
-        events.push_back({t, true, static_cast<uint32_t>(i)});
+        due.push_back({i, t, truth_[i].size});
       }
+    }
+  }
+
+  if (options_.executor != nullptr) {
+    // Executor path: fetches can fail, be refused, or land late. Only
+    // applied syncs become events; a sync completing past the period
+    // boundary applies at the boundary (after every access — genuinely
+    // late), and everything else leaves the copy stale.
+    const std::vector<sync::SyncOutcome> outcomes =
+        options_.executor->Execute(due);
+    for (const sync::SyncOutcome& outcome : outcomes) {
+      stats.wasted_bandwidth += outcome.wasted_bandwidth;
+      switch (outcome.kind) {
+        case sync::SyncOutcomeKind::kApplied:
+          events.push_back({std::min(outcome.apply_time, period_end), true,
+                            static_cast<uint32_t>(outcome.element)});
+          break;
+        case sync::SyncOutcomeKind::kFailed:
+          ++stats.failed_syncs;
+          break;
+        case sync::SyncOutcomeKind::kBreakerOpen:
+          ++stats.breaker_skipped_syncs;
+          break;
+        case sync::SyncOutcomeKind::kDropped:
+          ++stats.dropped_syncs;
+          break;
+      }
+    }
+  } else {
+    for (const sync::SyncTask& task : due) {
+      events.push_back({task.time, true, static_cast<uint32_t>(task.element)});
     }
   }
 
@@ -135,7 +168,6 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
               return a.is_sync && !b.is_sync;
             });
 
-  PeriodStats stats;
   KahanSum age_sum;
   for (const LoopEvent& event : events) {
     if (event.is_sync) {

@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "rng/alias_table.h"
 #include "rng/rng.h"
+#include "sync/executor.h"
 
 namespace freshen {
 
@@ -42,8 +43,18 @@ struct PeriodStats {
   uint64_t accesses = 0;
   /// Syncs executed this period.
   uint64_t syncs = 0;
-  /// Bandwidth spent this period (sum of synced sizes).
+  /// Bandwidth spent on *applied* syncs this period (sum of synced sizes).
   double bandwidth_spent = 0.0;
+  /// Bandwidth burned by failed fetch attempts this period (executor path
+  /// only; the inline path never fails). Tracked separately from
+  /// bandwidth_spent so failures are visible in the period view.
+  double wasted_bandwidth = 0.0;
+  /// Syncs that exhausted their retries this period (copy left stale).
+  uint64_t failed_syncs = 0;
+  /// Syncs refused by executor queue backpressure this period.
+  uint64_t dropped_syncs = 0;
+  /// Syncs refused by an open circuit breaker this period.
+  uint64_t breaker_skipped_syncs = 0;
   /// True when the controller installed a new plan at the boundary.
   bool replanned = false;
 };
@@ -62,6 +73,13 @@ class OnlineFreshenLoop {
     /// controller options name their own, the controller's too). nullptr
     /// means the process-wide obs::MetricsRegistry::Global().
     obs::MetricsRegistry* registry = nullptr;
+    /// When set, due syncs are routed through this executor instead of
+    /// applying instantly: a fetch that fails (or is refused by the breaker
+    /// or queue) leaves the copy stale, and a slow fetch applies late — at
+    /// its scheduled time plus transport latency. Non-owning; must outlive
+    /// the loop. With a sync::PerfectSource behind it, per-period results
+    /// are bit-identical to the inline path on the same seed.
+    sync::SyncExecutor* executor = nullptr;
   };
 
   /// `truth` holds the real change rates, real profile, and sizes; only the

@@ -1,0 +1,125 @@
+#include "sync/circuit_breaker.h"
+
+#include <cmath>
+
+namespace freshen {
+namespace sync {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+Result<CircuitBreaker> CircuitBreaker::Create(Options options) {
+  if (options.failure_threshold == 0) {
+    return Status::InvalidArgument("failure_threshold must be >= 1");
+  }
+  if (!(options.open_duration_seconds > 0.0) ||
+      !std::isfinite(options.open_duration_seconds)) {
+    return Status::InvalidArgument("open_duration_seconds must be > 0");
+  }
+  if (options.half_open_max_probes == 0) {
+    return Status::InvalidArgument("half_open_max_probes must be >= 1");
+  }
+  if (options.success_threshold == 0) {
+    return Status::InvalidArgument("success_threshold must be >= 1");
+  }
+  return CircuitBreaker(options);
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreaker&& other) noexcept
+    : options_(other.options_) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  state_ = other.state_;
+  consecutive_failures_ = other.consecutive_failures_;
+  consecutive_successes_ = other.consecutive_successes_;
+  probes_in_flight_ = other.probes_in_flight_;
+  opened_at_ = other.opened_at_;
+  open_transitions_ = other.open_transitions_;
+}
+
+bool CircuitBreaker::AllowRequest(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < options_.open_duration_seconds) return false;
+      state_ = BreakerState::kHalfOpen;
+      consecutive_successes_ = 0;
+      probes_in_flight_ = 1;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_max_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kOpen:
+      // A late success from before the trip; ignored.
+      break;
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      if (++consecutive_successes_ >= options_.success_threshold) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        consecutive_successes_ = 0;
+        probes_in_flight_ = 0;
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionToOpen(now);
+      }
+      break;
+    case BreakerState::kOpen:
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: back to open, cool-down restarts.
+      TransitionToOpen(now);
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::open_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_transitions_;
+}
+
+void CircuitBreaker::TransitionToOpen(double now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  consecutive_successes_ = 0;
+  probes_in_flight_ = 0;
+  ++open_transitions_;
+}
+
+}  // namespace sync
+}  // namespace freshen

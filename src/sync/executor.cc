@@ -1,0 +1,238 @@
+#include "sync/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace freshen {
+namespace sync {
+
+const char* SyncOutcomeKindName(SyncOutcomeKind kind) {
+  switch (kind) {
+    case SyncOutcomeKind::kApplied:
+      return "applied";
+    case SyncOutcomeKind::kFailed:
+      return "failed";
+    case SyncOutcomeKind::kBreakerOpen:
+      return "breaker_open";
+    case SyncOutcomeKind::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<SyncExecutor>> SyncExecutor::Create(Source* source,
+                                                           Options options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (!(options.period_seconds > 0.0) ||
+      !std::isfinite(options.period_seconds)) {
+    return Status::InvalidArgument("period_seconds must be > 0");
+  }
+  FRESHEN_RETURN_IF_ERROR(ValidateRetryPolicy(options.retry));
+  FRESHEN_ASSIGN_OR_RETURN(CircuitBreaker breaker,
+                           CircuitBreaker::Create(options.breaker));
+  return std::unique_ptr<SyncExecutor>(
+      new SyncExecutor(source, std::move(breaker), options));
+}
+
+SyncExecutor::SyncExecutor(Source* source, CircuitBreaker breaker,
+                           Options options)
+    : source_(source),
+      options_(options),
+      breaker_(std::move(breaker)),
+      backoff_rng_(options.seed ^ 0x73796e63ULL),
+      pool_(std::make_unique<ThreadPool>(ThreadPool::Options{
+          options.num_threads, options.queue_capacity})),
+      registry_(options.registry != nullptr
+                    ? options.registry
+                    : &obs::MetricsRegistry::Global()) {
+  const obs::Labels labels = {{"source", source_->name()}};
+  tasks_counter_ = registry_->GetCounter("freshen_sync_tasks_total", labels);
+  applied_counter_ =
+      registry_->GetCounter("freshen_sync_applied_total", labels);
+  attempts_counter_ =
+      registry_->GetCounter("freshen_sync_attempts_total", labels);
+  retries_counter_ =
+      registry_->GetCounter("freshen_sync_retries_total", labels);
+  failures_counter_ =
+      registry_->GetCounter("freshen_sync_failures_total", labels);
+  dropped_counter_ =
+      registry_->GetCounter("freshen_sync_dropped_total", labels);
+  breaker_skipped_counter_ =
+      registry_->GetCounter("freshen_sync_breaker_skipped_total", labels);
+  breaker_opens_counter_ =
+      registry_->GetCounter("freshen_sync_breaker_opens_total", labels);
+  wasted_bandwidth_counter_ =
+      registry_->GetCounter("freshen_sync_wasted_bandwidth_total", labels);
+  queue_depth_gauge_ =
+      registry_->GetGauge("freshen_sync_queue_depth", labels);
+  fetch_latency_histogram_ = registry_->GetHistogram(
+      "freshen_sync_fetch_latency_seconds", obs::LatencySecondsBuckets(),
+      labels);
+}
+
+std::vector<SyncOutcome> SyncExecutor::Execute(
+    const std::vector<SyncTask>& tasks) {
+  obs::ScopedSpan span("sync_execute", *registry_);
+  last_stats_ = ExecuteStats{};
+  last_stats_.tasks = tasks.size();
+  tasks_counter_->Add(static_cast<double>(tasks.size()));
+
+  // Deterministic task order: scheduled time, element as tie-break.
+  std::vector<size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (tasks[a].time != tasks[b].time) return tasks[a].time < tasks[b].time;
+    return tasks[a].element < tasks[b].element;
+  });
+
+  struct TaskPlan {
+    SyncTask task;
+    uint64_t seq = 0;
+    bool dropped = false;
+    std::vector<AttemptRecord> trace;
+  };
+  std::vector<TaskPlan> plans(tasks.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    plans[i].task = tasks[order[i]];
+    plans[i].seq = next_seq_++;
+  }
+
+  // Phase 1 — speculative fetch: each admitted task runs its whole attempt
+  // loop on the pool. Traces depend only on (seed, seq, attempt), never on
+  // scheduling, so phase 2 can replay them deterministically.
+  const RetryPolicy& retry = options_.retry;
+  size_t max_queue_depth = 0;
+  for (TaskPlan& plan : plans) {
+    const double scheduled_seconds = plan.task.time * options_.period_seconds;
+    const Status submitted =
+        pool_->TrySubmit([this, &plan, &retry, scheduled_seconds] {
+          plan.trace.reserve(retry.max_attempts);
+          for (uint32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+            const FetchResult fetched = source_->Fetch(
+                {plan.task.element, scheduled_seconds, plan.seq, attempt});
+            AttemptRecord record;
+            record.timed_out =
+                fetched.latency_seconds > retry.attempt_timeout_seconds;
+            record.latency_seconds =
+                std::min(fetched.latency_seconds,
+                         retry.attempt_timeout_seconds);
+            record.ok = fetched.status.ok() && !record.timed_out;
+            plan.trace.push_back(record);
+            if (record.ok) break;
+          }
+        });
+    if (!submitted.ok()) plan.dropped = true;
+    max_queue_depth = std::max(max_queue_depth, pool_->QueueDepth());
+  }
+  pool_->Wait();
+  queue_depth_gauge_->Set(static_cast<double>(max_queue_depth));
+
+  // Phase 2 — deterministic commit: replay each trace in scheduled order
+  // against the breaker, settling completion events in virtual-time order so
+  // breaker transitions are reproducible.
+  using Completion = std::pair<double, bool>;  // (completion seconds, ok).
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+  const auto settle_until = [&](double now_seconds) {
+    while (!completions.empty() && completions.top().first <= now_seconds) {
+      const Completion done = completions.top();
+      completions.pop();
+      if (done.second) {
+        breaker_.RecordSuccess(done.first);
+      } else {
+        breaker_.RecordFailure(done.first);
+      }
+    }
+  };
+
+  std::vector<SyncOutcome> outcomes;
+  outcomes.reserve(plans.size());
+  for (const TaskPlan& plan : plans) {
+    SyncOutcome outcome;
+    outcome.element = plan.task.element;
+    outcome.scheduled_time = plan.task.time;
+    if (plan.dropped) {
+      outcome.kind = SyncOutcomeKind::kDropped;
+      ++last_stats_.dropped;
+      dropped_counter_->Increment();
+      outcomes.push_back(outcome);
+      continue;
+    }
+    const double scheduled_seconds = plan.task.time * options_.period_seconds;
+    settle_until(scheduled_seconds);
+    if (!breaker_.AllowRequest(scheduled_seconds)) {
+      outcome.kind = SyncOutcomeKind::kBreakerOpen;
+      ++last_stats_.breaker_open;
+      breaker_skipped_counter_->Increment();
+      outcomes.push_back(outcome);
+      continue;
+    }
+    double now_seconds = scheduled_seconds;
+    double backoff = 0.0;
+    bool success = false;
+    for (size_t attempt = 0; attempt < plan.trace.size(); ++attempt) {
+      const AttemptRecord& record = plan.trace[attempt];
+      outcome.attempts += 1;
+      ++last_stats_.attempts;
+      attempts_counter_->Increment();
+      if (attempt > 0) {
+        ++last_stats_.retries;
+        retries_counter_->Increment();
+      }
+      fetch_latency_histogram_->Record(record.latency_seconds);
+      now_seconds += record.latency_seconds;
+      if (record.ok) {
+        success = true;
+        break;
+      }
+      outcome.wasted_bandwidth += plan.task.size;
+      wasted_bandwidth_counter_->Add(plan.task.size);
+      if (attempt + 1 < plan.trace.size()) {
+        backoff = NextBackoffDelay(backoff_rng_, retry, backoff);
+        now_seconds += backoff;
+      }
+    }
+    last_stats_.wasted_bandwidth += outcome.wasted_bandwidth;
+    if (success) {
+      outcome.kind = SyncOutcomeKind::kApplied;
+      // Scheduled time plus transport elapsed, converted back to periods.
+      // Kept as an offset from the scheduled time so a zero-latency source
+      // (PerfectSource) applies at exactly the scheduled instant.
+      outcome.apply_time =
+          plan.task.time +
+          (now_seconds - scheduled_seconds) / options_.period_seconds;
+      ++last_stats_.applied;
+      applied_counter_->Increment();
+    } else {
+      outcome.kind = SyncOutcomeKind::kFailed;
+      ++last_stats_.failed;
+      failures_counter_->Increment();
+    }
+    completions.emplace(now_seconds, success);
+    outcomes.push_back(outcome);
+  }
+  settle_until(std::numeric_limits<double>::infinity());
+
+  const uint64_t opens = breaker_.open_transitions();
+  breaker_opens_counter_->Add(static_cast<double>(opens - breaker_opens_seen_));
+  breaker_opens_seen_ = opens;
+  return outcomes;
+}
+
+}  // namespace sync
+}  // namespace freshen

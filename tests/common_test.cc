@@ -28,6 +28,20 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Unimplemented("todo").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("bug").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Internal("bug").message(), "bug");
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("slow").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, TransportCodesRenderTheirNames) {
+  EXPECT_EQ(Status::Unavailable("origin down").ToString(),
+            "Unavailable: origin down");
+  EXPECT_EQ(Status::DeadlineExceeded("stalled").ToString(),
+            "DeadlineExceeded: stalled");
+  EXPECT_EQ(Status::ResourceExhausted("queue full").ToString(),
+            "ResourceExhausted: queue full");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

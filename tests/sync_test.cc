@@ -1,0 +1,246 @@
+// Unit tests for the sync building blocks: retry/backoff math (property
+// test), the circuit-breaker state machine, and the fault-injecting sources.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+#include "sync/circuit_breaker.h"
+#include "sync/retry.h"
+#include "sync/source.h"
+
+namespace freshen {
+namespace sync {
+namespace {
+
+TEST(RetryPolicyTest, ValidatesFields) {
+  EXPECT_TRUE(ValidateRetryPolicy(RetryPolicy{}).ok());
+  RetryPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_FALSE(ValidateRetryPolicy(zero_attempts).ok());
+  RetryPolicy zero_base;
+  zero_base.base_delay_seconds = 0.0;
+  EXPECT_FALSE(ValidateRetryPolicy(zero_base).ok());
+  RetryPolicy cap_below_base;
+  cap_below_base.base_delay_seconds = 1.0;
+  cap_below_base.max_delay_seconds = 0.5;
+  EXPECT_FALSE(ValidateRetryPolicy(cap_below_base).ok());
+  RetryPolicy zero_timeout;
+  zero_timeout.attempt_timeout_seconds = 0.0;
+  EXPECT_FALSE(ValidateRetryPolicy(zero_timeout).ok());
+}
+
+// Property: 10k decorrelated-jitter draws all stay within [base, cap], and
+// the walk actually uses the upper range (it is not stuck at the base).
+TEST(RetryPolicyTest, DecorrelatedJitterStaysWithinBaseAndCap) {
+  RetryPolicy policy;
+  policy.base_delay_seconds = 0.05;
+  policy.max_delay_seconds = 2.0;
+  Rng rng(12345);
+  double delay = 0.0;  // "No previous delay" before the first retry.
+  double max_seen = 0.0;
+  for (int draw = 0; draw < 10000; ++draw) {
+    delay = NextBackoffDelay(rng, policy, delay);
+    ASSERT_GE(delay, policy.base_delay_seconds);
+    ASSERT_LE(delay, policy.max_delay_seconds);
+    max_seen = std::max(max_seen, delay);
+    if (draw % 7 == 6) delay = 0.0;  // Restart the walk now and then.
+  }
+  EXPECT_GT(max_seen, 0.5 * policy.max_delay_seconds);
+}
+
+TEST(RetryPolicyTest, DegenerateEqualBaseAndCap) {
+  RetryPolicy policy;
+  policy.base_delay_seconds = 0.25;
+  policy.max_delay_seconds = 0.25;
+  Rng rng(9);
+  for (int draw = 0; draw < 100; ++draw) {
+    EXPECT_DOUBLE_EQ(NextBackoffDelay(rng, policy, 0.25), 0.25);
+  }
+}
+
+CircuitBreaker MakeBreaker(uint32_t failures, double cooldown,
+                           uint32_t successes = 1) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = failures;
+  options.open_duration_seconds = cooldown;
+  options.success_threshold = successes;
+  return CircuitBreaker::Create(options).value();
+}
+
+TEST(CircuitBreakerTest, ValidatesOptions) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 0;
+  EXPECT_FALSE(CircuitBreaker::Create(options).ok());
+  options = {};
+  options.open_duration_seconds = 0.0;
+  EXPECT_FALSE(CircuitBreaker::Create(options).ok());
+  options = {};
+  options.half_open_max_probes = 0;
+  EXPECT_FALSE(CircuitBreaker::Create(options).ok());
+  options = {};
+  options.success_threshold = 0;
+  EXPECT_FALSE(CircuitBreaker::Create(options).ok());
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker = MakeBreaker(3, 10.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(1.0);
+  breaker.RecordFailure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // A success resets the consecutive count.
+  breaker.RecordSuccess(3.0);
+  breaker.RecordFailure(4.0);
+  breaker.RecordFailure(5.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(6.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 1u);
+  // Open: requests refused until the cool-down elapses.
+  EXPECT_FALSE(breaker.AllowRequest(7.0));
+  EXPECT_FALSE(breaker.AllowRequest(15.9));
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeRecloses) {
+  CircuitBreaker breaker = MakeBreaker(2, 5.0);
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(0.0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // Cool-down elapsed: exactly one probe is admitted.
+  EXPECT_TRUE(breaker.AllowRequest(5.0));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest(5.1));  // Probe still in flight.
+  breaker.RecordSuccess(5.2);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(5.3));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  CircuitBreaker breaker = MakeBreaker(2, 5.0);
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(0.0);
+  ASSERT_TRUE(breaker.AllowRequest(5.0));
+  breaker.RecordFailure(5.5);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 2u);
+  // The cool-down restarted at 5.5, so 9.0 is still refused.
+  EXPECT_FALSE(breaker.AllowRequest(9.0));
+  EXPECT_TRUE(breaker.AllowRequest(10.5));
+}
+
+TEST(CircuitBreakerTest, SuccessThresholdRequiresMultipleProbes) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_duration_seconds = 1.0;
+  options.half_open_max_probes = 2;
+  options.success_threshold = 2;
+  CircuitBreaker breaker = CircuitBreaker::Create(options).value();
+  breaker.RecordFailure(0.0);
+  ASSERT_TRUE(breaker.AllowRequest(1.0));
+  ASSERT_TRUE(breaker.AllowRequest(1.0));
+  EXPECT_FALSE(breaker.AllowRequest(1.0));  // Probe budget exhausted.
+  breaker.RecordSuccess(1.1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess(1.2);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BreakerStateNameTest, CoversAllStates) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(PerfectSourceTest, AlwaysSucceedsInstantly) {
+  PerfectSource source;
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    const FetchResult result = source.Fetch({seq % 7, 0.5, seq, 0});
+    EXPECT_TRUE(result.status.ok());
+    EXPECT_EQ(result.latency_seconds, 0.0);
+  }
+}
+
+TEST(SimulatedSourceTest, ValidatesOptions) {
+  SimulatedSource::Options options;
+  options.error_rate = 1.5;
+  EXPECT_FALSE(SimulatedSource::Create(options).ok());
+  options = {};
+  options.error_rate = 0.7;
+  options.stall_rate = 0.7;
+  EXPECT_FALSE(SimulatedSource::Create(options).ok());
+  options = {};
+  options.base_latency_seconds = -1.0;
+  EXPECT_FALSE(SimulatedSource::Create(options).ok());
+  options = {};
+  options.outage_interval_seconds = 1.0;
+  options.outage_duration_seconds = 2.0;
+  EXPECT_FALSE(SimulatedSource::Create(options).ok());
+}
+
+TEST(SimulatedSourceTest, DeterministicInSeedSeqAndAttempt) {
+  SimulatedSource::Options options;
+  options.error_rate = 0.4;
+  options.stall_rate = 0.1;
+  options.seed = 99;
+  SimulatedSource a = SimulatedSource::Create(options).value();
+  SimulatedSource b = SimulatedSource::Create(options).value();
+  for (uint64_t seq = 0; seq < 500; ++seq) {
+    const FetchRequest request{seq % 11, 0.25, seq, uint32_t(seq % 3)};
+    const FetchResult ra = a.Fetch(request);
+    const FetchResult rb = b.Fetch(request);
+    EXPECT_EQ(ra.status.code(), rb.status.code());
+    EXPECT_DOUBLE_EQ(ra.latency_seconds, rb.latency_seconds);
+  }
+}
+
+TEST(SimulatedSourceTest, ErrorRateIsRespected) {
+  SimulatedSource::Options options;
+  options.error_rate = 0.3;
+  options.seed = 7;
+  SimulatedSource source = SimulatedSource::Create(options).value();
+  int errors = 0;
+  const uint64_t trials = 10000;
+  for (uint64_t seq = 0; seq < trials; ++seq) {
+    if (!source.Fetch({0, 0.0, seq, 0}).status.ok()) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / static_cast<double>(trials), 0.3,
+              0.02);
+}
+
+TEST(SimulatedSourceTest, StallsExceedTheStallLatency) {
+  SimulatedSource::Options options;
+  options.stall_rate = 1.0;
+  options.stall_latency_seconds = 60.0;
+  SimulatedSource source = SimulatedSource::Create(options).value();
+  const FetchResult result = source.Fetch({0, 0.0, 0, 0});
+  EXPECT_TRUE(result.status.ok());  // The executor's timeout cuts it off.
+  EXPECT_DOUBLE_EQ(result.latency_seconds, 60.0);
+}
+
+TEST(SimulatedSourceTest, OutageWindowFailsFast) {
+  SimulatedSource::Options options;
+  options.outage_interval_seconds = 10.0;
+  options.outage_duration_seconds = 2.0;
+  SimulatedSource source = SimulatedSource::Create(options).value();
+  // Scheduled inside the window (t mod 10 < 2): hard down.
+  EXPECT_EQ(source.Fetch({0, 11.0, 0, 0}).status.code(),
+            StatusCode::kUnavailable);
+  // Outside the window: up.
+  EXPECT_TRUE(source.Fetch({0, 15.0, 1, 0}).status.ok());
+}
+
+TEST(SimulatedSourceTest, FaultSwitchClearsEverything) {
+  SimulatedSource::Options options;
+  options.error_rate = 1.0;
+  SimulatedSource source = SimulatedSource::Create(options).value();
+  EXPECT_FALSE(source.Fetch({0, 0.0, 0, 0}).status.ok());
+  source.SetFaultsEnabled(false);
+  EXPECT_TRUE(source.Fetch({0, 0.0, 1, 0}).status.ok());
+  source.SetFaultsEnabled(true);
+  EXPECT_FALSE(source.Fetch({0, 0.0, 2, 0}).status.ok());
+}
+
+}  // namespace
+}  // namespace sync
+}  // namespace freshen
