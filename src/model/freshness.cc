@@ -59,16 +59,24 @@ double MarginalGainGPrime(double r) {
   return r * std::exp(-r);
 }
 
-double InverseMarginalGainG(double y) {
+double InverseMarginalGainG(double y) { return InverseMarginalGainG(y, 0.0); }
+
+double InverseMarginalGainG(double y, double guess) {
   FRESHEN_CHECK(y > 0.0 && y < 1.0);
   // Solve g(r) = y via the equivalent, well-conditioned equation
   //   h(r) = log(1 + r) - r - log(1 - y) = 0
   // (g(r) = 1 - (1+r) e^{-r}, so 1-y = (1+r) e^{-r}). h is strictly
   // decreasing with h'(r) = -r/(1+r), bounded away from 0 once r > 0.
   const double target = std::log1p(-y);  // log(1 - y), negative.
-  // Initial guess: small-y regime r ~ sqrt(2y); large-y regime
-  // r ~ -log(1-y) + log(1+r), iterated once.
-  double r = y < 0.5 ? std::sqrt(2.0 * y) : -target + std::log1p(-target);
+  // Initial guess: a caller-provided nearby root when valid, else the
+  // small-y regime r ~ sqrt(2y) / large-y regime r ~ -log(1-y) + log(1+r),
+  // iterated once.
+  double r;
+  if (guess > 0.0 && guess < 750.0 && std::isfinite(guess)) {
+    r = guess;
+  } else {
+    r = y < 0.5 ? std::sqrt(2.0 * y) : -target + std::log1p(-target);
+  }
   double lo = 0.0;
   double hi = 750.0;  // g(750) == 1 to double precision.
   for (int iter = 0; iter < 100; ++iter) {
@@ -131,10 +139,22 @@ double AgeMarginalKernelHPrime(double r) {
 }
 
 double InverseAgeMarginalKernelH(double y) {
+  return InverseAgeMarginalKernelH(y, 0.0);
+}
+
+double InverseAgeMarginalKernelH(double y, double guess) {
   FRESHEN_CHECK(y > 0.0);
-  // Initial guess from the asymptotics: h ~ r^3/3 for small y and
-  // h ~ r^2/2 - 1 for large y.
-  double r = y < 0.3 ? std::cbrt(3.0 * y) : std::sqrt(2.0 * (y + 1.0));
+  // Initial guess: a caller-provided nearby root when valid, else from the
+  // asymptotics h ~ r^3/3 for small y and h ~ r^2/2 - 1 for large y. The
+  // guess must sit inside the safeguard bracket below — past 1e160,
+  // h(r) = r^2/2 - ... overflows and the iteration would chase inf - nan.
+  // (NaN fails the comparison too.)
+  double r;
+  if (guess > 0.0 && guess < 1e160) {
+    r = guess;
+  } else {
+    r = y < 0.3 ? std::cbrt(3.0 * y) : std::sqrt(2.0 * (y + 1.0));
+  }
   double lo = 0.0;
   double hi = 1e160;  // h(1e160) overflows toward inf; bisection shrinks it.
   for (int iter = 0; iter < 200; ++iter) {

@@ -52,6 +52,14 @@ double MarginalGainGPrime(double r);
 /// bisection safeguard; |g(result) - y| <= 1e-12. Requires 0 < y < 1.
 double InverseMarginalGainG(double y);
 
+/// As above, but the Newton iteration is seeded from `guess` — typically the
+/// root computed for a nearby y (the water-filling solvers re-invert per
+/// element ~50 times along a collapsing multiplier bracket, so the previous
+/// root is within a few percent and convergence takes 1-2 steps instead of
+/// 5-8). A guess <= 0, non-finite, or outside the safeguard bracket falls
+/// back to the cold-start seed; the result contract is unchanged.
+double InverseMarginalGainG(double y, double guess);
+
 /// Time-averaged *age* of an element under Fixed Order sync with interval
 /// I = 1/f (an extension metric; the paper's conclusion points at richer
 /// quality measures). Age at time t is t - t_first_update_since_sync when the
@@ -72,6 +80,10 @@ double AgeMarginalKernelHPrime(double r);
 
 /// Inverse of h on (0, inf): returns r with h(r) = y. Requires y > 0.
 double InverseAgeMarginalKernelH(double y);
+
+/// As InverseAgeMarginalKernelH, seeded from `guess` (see the warm-started
+/// InverseMarginalGainG overload). Invalid guesses fall back to cold start.
+double InverseAgeMarginalKernelH(double y, double guess);
 
 }  // namespace freshen
 

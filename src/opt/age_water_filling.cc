@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "model/freshness.h"
 #include "obs/trace.h"
@@ -11,15 +12,6 @@
 #include "stats/descriptive.h"
 
 namespace freshen {
-namespace {
-
-// Frequency at multiplier mu, where target_scale = c_i * l_i^2 / w_i.
-double FrequencyAt(double mu, double target_scale, double lambda) {
-  const double y = std::max(mu * target_scale, 1e-300);
-  return lambda / InverseAgeMarginalKernelH(y);
-}
-
-}  // namespace
 
 Result<Allocation> AgeWaterFillingSolver::Solve(
     const CoreProblem& problem) const {
@@ -32,28 +24,36 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
   Allocation out;
   out.frequencies.assign(n, 0.0);
 
-  std::vector<size_t> active;
-  active.reserve(n);
-  std::vector<double> target_scale(n, 0.0);  // c l^2 / w per active element.
+  // Active elements compacted into contiguous SoA arrays (see the matching
+  // comment in water_filling.cc).
+  std::vector<size_t> index;         // Active k -> original i.
+  std::vector<double> target_scale;  // c l^2 / w: h-target per unit of mu.
+  std::vector<double> lambda;
+  std::vector<double> cost;
+  index.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0) {
-      active.push_back(i);
-      target_scale[i] = problem.costs[i] * problem.change_rates[i] *
-                        problem.change_rates[i] / problem.weights[i];
+      index.push_back(i);
+      target_scale.push_back(problem.costs[i] * problem.change_rates[i] *
+                             problem.change_rates[i] / problem.weights[i]);
+      lambda.push_back(problem.change_rates[i]);
+      cost.push_back(problem.costs[i]);
     }
   }
+  const size_t active = index.size();
+  const par::Executor exec(options_.threads);
 
   auto weighted_age = [&](const std::vector<double>& freqs) {
-    KahanSum acc;
-    for (size_t i = 0; i < n; ++i) {
-      if (problem.weights[i] <= 0.0) continue;
-      acc.Add(problem.weights[i] *
-              FixedOrderAge(freqs[i], problem.change_rates[i]));
-    }
-    return acc.Total();
+    return exec.Sum(n, [&](size_t i) {
+      // Skip zero-weight entries instead of multiplying: with f = 0 the age
+      // is +inf and 0 * inf would poison the sum with NaN.
+      if (problem.weights[i] <= 0.0) return 0.0;
+      return problem.weights[i] *
+             FixedOrderAge(freqs[i], problem.change_rates[i]);
+    });
   };
 
-  if (active.empty()) {
+  if (active == 0) {
     out.objective = weighted_age(out.frequencies);
     out.solve_seconds = timer.ElapsedSeconds();
     metrics.solves->Increment();
@@ -62,13 +62,19 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
     return out;
   }
 
+  // Previous Newton root per active element (see water_filling.cc).
+  std::vector<double> warm(active, 0.0);
+
+  auto frequency_at = [&](double mu, size_t k) {
+    const double y = std::max(mu * target_scale[k], 1e-300);
+    const double r = InverseAgeMarginalKernelH(y, warm[k]);
+    warm[k] = r;
+    return lambda[k] / r;
+  };
+
   auto spend_at = [&](double mu) {
-    KahanSum acc;
-    for (size_t i : active) {
-      acc.Add(problem.costs[i] *
-              FrequencyAt(mu, target_scale[i], problem.change_rates[i]));
-    }
-    return acc.Total();
+    return exec.Sum(active,
+                    [&](size_t k) { return cost[k] * frequency_at(mu, k); });
   };
 
   // spend(mu) decreases from +inf (mu -> 0) to 0 (mu -> inf): unlike the
@@ -87,32 +93,30 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
 
   // Bisect until the multiplier interval collapses (see the matching
   // comment in water_filling.cc: the spend alone does not pin mu).
-  double mu = std::sqrt(lo * hi);
   int iterations = 0;
   for (; iterations < options_.max_iterations; ++iterations) {
-    mu = 0.5 * (lo + hi);
-    if (spend_at(mu) > problem.bandwidth) {
-      lo = mu;
+    const double mid = 0.5 * (lo + hi);
+    if (spend_at(mid) > problem.bandwidth) {
+      lo = mid;
     } else {
-      hi = mu;
+      hi = mid;
     }
     if ((hi - lo) <= 1e-15 * hi) break;
   }
-  mu = 0.5 * (lo + hi);
-  for (size_t i : active) {
-    out.frequencies[i] =
-        FrequencyAt(mu, target_scale[i], problem.change_rates[i]);
-  }
-  const double spend = problem.Spend(out.frequencies);
+  const double mu = 0.5 * (lo + hi);
+  exec.ForEach(active, [&](size_t k) {
+    out.frequencies[index[k]] = frequency_at(mu, k);
+  });
+  const double spend = problem.Spend(out.frequencies, &exec);
   if (spend > 0.0) {
     const double scale = problem.bandwidth / spend;
-    for (double& f : out.frequencies) f *= scale;
+    exec.ForEach(n, [&](size_t i) { out.frequencies[i] *= scale; });
   }
 
   out.multiplier = mu;
   out.iterations = iterations;
   out.objective = weighted_age(out.frequencies);
-  out.bandwidth_used = problem.Spend(out.frequencies);
+  out.bandwidth_used = problem.Spend(out.frequencies, &exec);
   out.converged = true;
   out.solve_seconds = timer.ElapsedSeconds();
   metrics.solves->Increment();

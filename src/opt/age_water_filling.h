@@ -35,6 +35,10 @@ class AgeWaterFillingSolver {
     /// the multiplier interval collapses to machine precision; any budget
     /// residual is removed exactly by a final proportional rescale).
     int max_iterations = 400;
+    /// Worker threads for the sharded reductions (0 = hardware
+    /// concurrency). Purely an execution knob: the allocation is
+    /// bit-identical at every thread count (see common/parallel.h).
+    size_t threads = 0;
   };
 
   AgeWaterFillingSolver() = default;

@@ -38,11 +38,14 @@ const KktMetrics& GetKktMetrics() {
 }  // namespace
 
 KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
-                    double tolerance) {
+                    double tolerance, const par::Executor* executor) {
   FRESHEN_CHECK(allocation.frequencies.size() == problem.size());
   obs::ScopedSpan span("kkt_verify");
   GetKktMetrics().checks->Increment();
   KktReport report;
+  const par::Executor inline_executor(1);
+  const par::Executor& exec = executor != nullptr ? *executor : inline_executor;
+  const size_t n = problem.size();
 
   // Marginal per unit of bandwidth for element i at its current frequency.
   auto marginal = [&](size_t i) {
@@ -51,53 +54,55 @@ KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
                                          problem.change_rates[i]) /
            problem.costs[i];
   };
+  auto eligible = [&](size_t i) {
+    return problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0;
+  };
 
   double mu = allocation.multiplier;
   if (mu <= 0.0) {
-    // Infer a multiplier from the allocated elements.
-    double sum = 0.0;
-    size_t count = 0;
-    for (size_t i = 0; i < problem.size(); ++i) {
-      if (allocation.frequencies[i] > 0.0 && problem.weights[i] > 0.0 &&
-          problem.change_rates[i] > 0.0) {
-        sum += marginal(i);
-        ++count;
-      }
-    }
-    if (count == 0) {
+    // Infer a multiplier from the allocated elements. Deterministic sharded
+    // reductions: sum and count are bit-identical at every thread count.
+    auto allocated = [&](size_t i) {
+      return allocation.frequencies[i] > 0.0 && eligible(i);
+    };
+    const double sum =
+        exec.Sum(n, [&](size_t i) { return allocated(i) ? marginal(i) : 0.0; });
+    const double count =
+        exec.Sum(n, [&](size_t i) { return allocated(i) ? 1.0 : 0.0; });
+    if (count == 0.0) {
       report.budget_violation =
-          std::fabs(problem.Spend(allocation.frequencies) -
+          std::fabs(problem.Spend(allocation.frequencies, &exec) -
                     problem.bandwidth) /
           problem.bandwidth;
       // No allocated elements: satisfied iff no element wanted bandwidth.
-      report.satisfied = true;
-      for (size_t i = 0; i < problem.size(); ++i) {
-        if (problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0) {
-          report.satisfied = false;
-        }
-      }
+      report.satisfied =
+          exec.Max(n, [&](size_t i) { return eligible(i) ? 1.0 : 0.0; },
+                   0.0) == 0.0;
       return report;
     }
-    mu = sum / static_cast<double>(count);
+    mu = sum / count;
   }
 
-  for (size_t i = 0; i < problem.size(); ++i) {
-    if (problem.weights[i] <= 0.0 || problem.change_rates[i] <= 0.0) continue;
-    if (allocation.frequencies[i] > 0.0) {
-      const double violation = std::fabs(marginal(i) - mu) / mu;
-      report.max_stationarity_violation =
-          std::max(report.max_stationarity_violation, violation);
-    } else {
-      // Marginal at f = 0+ is w/(c*l); it must not exceed mu.
-      const double at_zero = problem.weights[i] /
-                             (problem.costs[i] * problem.change_rates[i]);
-      const double excess = (at_zero - mu) / mu;
-      report.max_complementarity_violation =
-          std::max(report.max_complementarity_violation, excess);
-    }
-  }
+  report.max_stationarity_violation = exec.Max(
+      n,
+      [&](size_t i) {
+        if (!eligible(i) || allocation.frequencies[i] <= 0.0) return 0.0;
+        return std::fabs(marginal(i) - mu) / mu;
+      },
+      0.0);
+  report.max_complementarity_violation = exec.Max(
+      n,
+      [&](size_t i) {
+        if (!eligible(i) || allocation.frequencies[i] > 0.0) return 0.0;
+        // Marginal at f = 0+ is w/(c*l); it must not exceed mu.
+        const double at_zero = problem.weights[i] /
+                               (problem.costs[i] * problem.change_rates[i]);
+        return (at_zero - mu) / mu;
+      },
+      0.0);
   report.budget_violation =
-      std::fabs(problem.Spend(allocation.frequencies) - problem.bandwidth) /
+      std::fabs(problem.Spend(allocation.frequencies, &exec) -
+                problem.bandwidth) /
       problem.bandwidth;
   report.satisfied = report.max_stationarity_violation <= tolerance &&
                      report.max_complementarity_violation <= tolerance &&

@@ -30,9 +30,13 @@ struct KktReport {
 
 /// Checks `allocation` (using its stored multiplier; when the multiplier is
 /// 0 — e.g. from the generic solver — a consistent one is inferred from the
-/// allocated elements' average marginal). `tolerance` is relative.
+/// allocated elements' average marginal). `tolerance` is relative. Pass an
+/// executor to run the per-element scans in parallel — the report is
+/// bit-identical at every thread count (sharded deterministic reductions;
+/// see common/parallel.h).
 KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
-                    double tolerance = 1e-6);
+                    double tolerance = 1e-6,
+                    const par::Executor* executor = nullptr);
 
 }  // namespace freshen
 

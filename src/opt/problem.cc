@@ -38,20 +38,23 @@ Status CoreProblem::Validate() const {
   return Status::OK();
 }
 
-double CoreProblem::Objective(const std::vector<double>& frequencies) const {
+double CoreProblem::Objective(const std::vector<double>& frequencies,
+                              const par::Executor* executor) const {
   FRESHEN_CHECK(frequencies.size() == size());
-  KahanSum acc;
-  for (size_t i = 0; i < size(); ++i) {
-    acc.Add(weights[i] * FixedOrderFreshness(frequencies[i], change_rates[i]));
-  }
-  return acc.Total();
+  const par::Executor inline_executor(1);
+  const par::Executor& exec = executor != nullptr ? *executor : inline_executor;
+  return exec.Sum(size(), [&](size_t i) {
+    return weights[i] * FixedOrderFreshness(frequencies[i], change_rates[i]);
+  });
 }
 
-double CoreProblem::Spend(const std::vector<double>& frequencies) const {
+double CoreProblem::Spend(const std::vector<double>& frequencies,
+                          const par::Executor* executor) const {
   FRESHEN_CHECK(frequencies.size() == size());
-  KahanSum acc;
-  for (size_t i = 0; i < size(); ++i) acc.Add(costs[i] * frequencies[i]);
-  return acc.Total();
+  const par::Executor inline_executor(1);
+  const par::Executor& exec = executor != nullptr ? *executor : inline_executor;
+  return exec.Sum(size(),
+                  [&](size_t i) { return costs[i] * frequencies[i]; });
 }
 
 CoreProblem MakePerceivedProblem(const ElementSet& elements, double bandwidth,

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "model/element.h"
 
@@ -36,11 +37,17 @@ struct CoreProblem {
   /// Validates shape and ranges; returns a descriptive error on failure.
   Status Validate() const;
 
-  /// Objective value of a frequency vector (no feasibility check).
-  double Objective(const std::vector<double>& frequencies) const;
+  /// Objective value of a frequency vector (no feasibility check). The sum
+  /// is a deterministic sharded Kahan reduction (par::ShardPlan(size())):
+  /// pass an executor to run the shards in parallel — the result is
+  /// bit-identical at every thread count, including the default inline run.
+  double Objective(const std::vector<double>& frequencies,
+                   const par::Executor* executor = nullptr) const;
 
-  /// Constraint left-hand side: sum_i c_i f_i.
-  double Spend(const std::vector<double>& frequencies) const;
+  /// Constraint left-hand side: sum_i c_i f_i. Same reduction contract as
+  /// Objective().
+  double Spend(const std::vector<double>& frequencies,
+               const par::Executor* executor = nullptr) const;
 };
 
 /// Builds the PF instance: weights from the profile; costs from sizes when

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "model/freshness.h"
 #include "obs/trace.h"
@@ -12,18 +13,6 @@
 #include "stats/descriptive.h"
 
 namespace freshen {
-namespace {
-
-// Frequency assigned to element i at multiplier mu, where
-// ratio_i = c_i * l_i / w_i (the g-target per unit of mu).
-double FrequencyAt(double mu, double ratio, double lambda) {
-  double y = mu * ratio;
-  if (y >= 1.0) return 0.0;  // Marginal value below mu even at f -> 0+.
-  y = std::max(y, 1e-300);   // Guard underflow; maps to an enormous f.
-  return lambda / InverseMarginalGainG(y);
-}
-
-}  // namespace
 
 Result<Allocation> KktWaterFillingSolver::Solve(
     const CoreProblem& problem) const {
@@ -36,26 +25,33 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   Allocation out;
   out.frequencies.assign(n, 0.0);
 
-  // Active elements: positive weight and positive change rate. Elements with
-  // lambda = 0 are always fresh and never need bandwidth; weight-0 elements
-  // contribute nothing to the objective.
-  std::vector<size_t> active;
-  active.reserve(n);
-  std::vector<double> ratio(n, 0.0);  // c_i l_i / w_i for active i.
+  // Active elements — positive weight and positive change rate (lambda = 0
+  // is always fresh; weight 0 contributes nothing) — compacted into
+  // contiguous SoA arrays so the bisection's inner loop streams cache lines
+  // instead of chasing a sparse index set.
+  std::vector<size_t> index;   // Active k -> original i.
+  std::vector<double> ratio;   // c_i l_i / w_i: g-target per unit of mu.
+  std::vector<double> lambda;  // Change rate.
+  std::vector<double> cost;    // Bandwidth cost.
+  index.reserve(n);
   double mu_max = 0.0;
   for (size_t i = 0; i < n; ++i) {
     if (problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0) {
-      active.push_back(i);
-      ratio[i] =
-          problem.costs[i] * problem.change_rates[i] / problem.weights[i];
-      mu_max = std::max(mu_max, 1.0 / ratio[i]);
+      index.push_back(i);
+      ratio.push_back(problem.costs[i] * problem.change_rates[i] /
+                      problem.weights[i]);
+      lambda.push_back(problem.change_rates[i]);
+      cost.push_back(problem.costs[i]);
+      mu_max = std::max(mu_max, 1.0 / ratio.back());
     }
   }
+  const size_t active = index.size();
+  const par::Executor exec(options_.threads);
 
-  if (active.empty()) {
+  if (active == 0) {
     // Nothing productive to spend on: the all-zero schedule is optimal under
     // the (equivalent, since F is increasing) <=-budget reading.
-    out.objective = problem.Objective(out.frequencies);
+    out.objective = problem.Objective(out.frequencies, &exec);
     out.bandwidth_used = 0.0;
     out.solve_seconds = timer.ElapsedSeconds();
     metrics.solves->Increment();
@@ -64,13 +60,30 @@ Result<Allocation> KktWaterFillingSolver::Solve(
     return out;
   }
 
+  // Previous Newton root per active element; 0 = no guess yet. The bisection
+  // re-inverts g at every probe, and consecutive probes move mu by at most
+  // the shrinking bracket width, so the last root is an excellent seed.
+  // Written only by the element's own shard — deterministic at any thread
+  // count because the probe sequence is (see spend_at below).
+  std::vector<double> warm(active, 0.0);
+
+  // Frequency of active element k at multiplier mu (0 when mu prices the
+  // element out of the schedule).
+  auto frequency_at = [&](double mu, size_t k) {
+    double y = mu * ratio[k];
+    if (y >= 1.0) return 0.0;  // Marginal value below mu even at f -> 0+.
+    y = std::max(y, 1e-300);   // Guard underflow; maps to an enormous f.
+    const double r = InverseMarginalGainG(y, warm[k]);
+    warm[k] = r;
+    return lambda[k] / r;
+  };
+
+  // Deterministic sharded reduction: bit-identical at every thread count,
+  // so the bisection takes the same branch sequence whether this solver
+  // runs on 1 thread or 8.
   auto spend_at = [&](double mu) {
-    KahanSum acc;
-    for (size_t i : active) {
-      acc.Add(problem.costs[i] *
-              FrequencyAt(mu, ratio[i], problem.change_rates[i]));
-    }
-    return acc.Total();
+    return exec.Sum(active,
+                    [&](size_t k) { return cost[k] * frequency_at(mu, k); });
   };
 
   // spend(mu) decreases from +inf (mu -> 0) to 0 (mu = mu_max). Find the
@@ -87,23 +100,22 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   // budget alone is NOT enough to pin mu (near-cutoff elements make f(mu)
   // arbitrarily sensitive, so a loosely-resolved mu reproduces the spend
   // while distorting the allocation mix).
-  double mu = 0.5 * (lo + hi);
   int iterations = 0;
   for (; iterations < options_.max_iterations; ++iterations) {
-    mu = 0.5 * (lo + hi);
-    if (spend_at(mu) > problem.bandwidth) {
-      lo = mu;  // Spending too much: raise the price.
+    const double mid = 0.5 * (lo + hi);
+    if (spend_at(mid) > problem.bandwidth) {
+      lo = mid;  // Spending too much: raise the price.
     } else {
-      hi = mu;
+      hi = mid;
     }
     if ((hi - lo) <= 1e-15 * hi) break;
   }
   // Evaluate at the under-spending edge of the final interval so the
   // residual is non-negative.
-  mu = hi;
-  for (size_t i : active) {
-    out.frequencies[i] = FrequencyAt(mu, ratio[i], problem.change_rates[i]);
-  }
+  const double mu = hi;
+  exec.ForEach(active, [&](size_t k) {
+    out.frequencies[index[k]] = frequency_at(mu, k);
+  });
   // Remove the residual budget slack. spend(mu) is continuous in exact
   // arithmetic but jumps at funding cutoffs in floating point (f tends to 0
   // only logarithmically as g_target -> 1, so the smallest representable
@@ -112,7 +124,7 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   // marginal value equals mu across the whole gap, so giving it the slack
   // preserves every other element's stationarity exactly. Otherwise spend
   // is locally continuous and a proportional rescale is below tolerance.
-  const double spend = problem.Spend(out.frequencies);
+  const double spend = problem.Spend(out.frequencies, &exec);
   double residual = problem.bandwidth - spend;
   if (residual > 0.0) {
     // A boundary element is one parked at the cutoff: its zero-frequency
@@ -120,13 +132,13 @@ Result<Allocation> KktWaterFillingSolver::Solve(
     // absorb the residual without violating stationarity.
     size_t boundary = SIZE_MAX;
     double best_marginal = 0.0;
-    for (size_t i : active) {
-      if (out.frequencies[i] > 0.0) continue;
-      const double marginal_at_zero = 1.0 / ratio[i];  // w/(c*lambda).
+    for (size_t k = 0; k < active; ++k) {
+      if (out.frequencies[index[k]] > 0.0) continue;
+      const double marginal_at_zero = 1.0 / ratio[k];  // w/(c*lambda).
       if (marginal_at_zero >= mu * (1.0 - 1e-9) &&
           marginal_at_zero > best_marginal) {
         best_marginal = marginal_at_zero;
-        boundary = i;
+        boundary = index[k];
       }
     }
     if (boundary != SIZE_MAX) {
@@ -136,13 +148,13 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   }
   if (residual != 0.0 && spend > 0.0) {
     const double scale = problem.bandwidth / spend;
-    for (double& f : out.frequencies) f *= scale;
+    exec.ForEach(n, [&](size_t i) { out.frequencies[i] *= scale; });
   }
 
   out.multiplier = mu;
   out.iterations = iterations;
-  out.objective = problem.Objective(out.frequencies);
-  out.bandwidth_used = problem.Spend(out.frequencies);
+  out.objective = problem.Objective(out.frequencies, &exec);
+  out.bandwidth_used = problem.Spend(out.frequencies, &exec);
   out.converged = true;
   out.solve_seconds = timer.ElapsedSeconds();
   metrics.solves->Increment();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,7 +36,7 @@ const KMeansMetrics& GetKMeansMetrics() {
 }  // namespace
 
 KMeansRefiner::KMeansRefiner(const ElementSet& elements, Options options)
-    : elements_(elements) {
+    : elements_(elements), threads_(par::Executor(options.threads).threads()) {
   const size_t n = elements.size();
   px_.resize(n);
   lx_.resize(n);
@@ -133,30 +134,42 @@ Result<std::vector<Partition>> KMeansRefiner::Refine(
   };
 
   recompute_centroids();  // Initial centroids; movement is meaningless here.
+  const par::Executor exec(threads_);
+  const std::vector<par::Shard> plan = par::ShardPlan(n);
+  std::vector<uint8_t> shard_moved(plan.size(), 0);
   int rounds = 0;
   double total_movement = 0.0;
   for (int iter = 0; iter < iterations; ++iter) {
-    bool moved = false;
-    for (size_t i = 0; i < n; ++i) {
-      const double x = px_[i];
-      const double y = lx_[i];
-      uint32_t best = assignment[i];
-      double best_d2 = (x - cx[best]) * (x - cx[best]) +
-                       (y - cy[best]) * (y - cy[best]);
-      for (uint32_t j = 0; j < k; ++j) {
-        const double dx = x - cx[j];
-        const double dy = y - cy[j];
-        const double d2 = dx * dx + dy * dy;
-        if (d2 < best_d2) {
-          best_d2 = d2;
-          best = j;
+    // Assignment step, sharded: each element's nearest centroid depends
+    // only on the (read-only) centroids, and every write lands in the
+    // element's own slot — bit-identical at any thread count.
+    std::fill(shard_moved.begin(), shard_moved.end(), 0);
+    exec.ForShards(plan, [&](const par::Shard& shard) {
+      bool moved_here = false;
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        const double x = px_[i];
+        const double y = lx_[i];
+        uint32_t best = assignment[i];
+        double best_d2 = (x - cx[best]) * (x - cx[best]) +
+                         (y - cy[best]) * (y - cy[best]);
+        for (uint32_t j = 0; j < k; ++j) {
+          const double dx = x - cx[j];
+          const double dy = y - cy[j];
+          const double d2 = dx * dx + dy * dy;
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = j;
+          }
+        }
+        if (best != assignment[i]) {
+          assignment[i] = best;
+          moved_here = true;
         }
       }
-      if (best != assignment[i]) {
-        assignment[i] = best;
-        moved = true;
-      }
-    }
+      if (moved_here) shard_moved[shard.index] = 1;
+    });
+    bool moved = false;
+    for (uint8_t flag : shard_moved) moved |= flag != 0;
     total_movement += recompute_centroids();
     ++rounds;
     if (!moved) break;  // Converged.

@@ -36,6 +36,11 @@ class KMeansRefiner {
   struct Options {
     /// Change-rate scaling (see LambdaNormalization).
     LambdaNormalization lambda_normalization = LambdaNormalization::kSumToOne;
+    /// Worker threads for the assignment step (0 = hardware concurrency).
+    /// Purely an execution knob: each element's nearest-centroid choice is
+    /// independent, so the refinement is bit-identical at every thread
+    /// count (see common/parallel.h).
+    size_t threads = 0;
   };
 
   /// Prepares the point set once; Refine() can then be called repeatedly.
@@ -54,6 +59,7 @@ class KMeansRefiner {
 
  private:
   const ElementSet& elements_;
+  size_t threads_;          // Assignment-step parallelism (resolved, >= 1).
   std::vector<double> px_;  // Access-prob coordinate per element.
   std::vector<double> lx_;  // (Normalized) change-rate coordinate.
 };

@@ -29,16 +29,9 @@ Result<SyncSchedule> SyncSchedule::FixedOrder(
   }
   schedule.events_.reserve(total_events);
   for (size_t i = 0; i < n; ++i) {
-    const double f = frequencies[i];
-    if (f <= 0.0) continue;
-    const double interval = 1.0 / f;
-    // Deterministic phase stagger in [0, 1): spreads the first syncs of
-    // equal-frequency elements across their interval.
-    const double phase =
-        n > 0 ? static_cast<double>(i) / static_cast<double>(n) : 0.0;
-    for (double t = phase * interval; t < horizon; t += interval) {
+    ForEachFixedOrderSyncTime(i, n, frequencies[i], horizon, [&](double t) {
       schedule.events_.push_back(SyncEvent{t, i});
-    }
+    });
   }
   std::sort(schedule.events_.begin(), schedule.events_.end(),
             [](const SyncEvent& a, const SyncEvent& b) {
@@ -63,11 +56,9 @@ Result<SyncSchedule> SyncSchedule::PoissonOrder(
           StrFormat("frequency %zu is negative or non-finite", i));
     }
     Rng rng = root.Fork();
-    if (f <= 0.0) continue;
-    for (double t = SampleExponential(rng, f); t < horizon;
-         t += SampleExponential(rng, f)) {
+    ForEachPoissonSyncTime(f, horizon, rng, [&](double t) {
       schedule.events_.push_back(SyncEvent{t, i});
-    }
+    });
   }
   std::sort(schedule.events_.begin(), schedule.events_.end(),
             [](const SyncEvent& a, const SyncEvent& b) {

@@ -13,8 +13,43 @@
 
 #include "common/result.h"
 #include "model/element.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
 
 namespace freshen {
+
+/// Calls emit(t) for every fixed-order sync instant of `element` over
+/// [0, horizon): t = (k + element/num_elements) / frequency for k = 0, 1, ….
+/// No-op for frequency <= 0. This is THE fixed-order timeline — the sharded
+/// simulator generates per-element timelines with the same function that
+/// SyncSchedule::FixedOrder materializes, so the two can never drift.
+template <typename Emit>
+void ForEachFixedOrderSyncTime(size_t element, size_t num_elements,
+                               double frequency, double horizon, Emit&& emit) {
+  if (frequency <= 0.0) return;
+  const double interval = 1.0 / frequency;
+  // Deterministic phase stagger in [0, 1): spreads the first syncs of
+  // equal-frequency elements across their interval.
+  const double phase =
+      num_elements > 0
+          ? static_cast<double>(element) / static_cast<double>(num_elements)
+          : 0.0;
+  for (double t = phase * interval; t < horizon; t += interval) emit(t);
+}
+
+/// Calls emit(t) for every Poisson-scheduled sync instant over [0, horizon):
+/// exponential gaps of rate `frequency` drawn from `rng`. No-op for
+/// frequency <= 0 (the rng is left untouched, matching PoissonOrder's
+/// fork-then-skip behaviour).
+template <typename Emit>
+void ForEachPoissonSyncTime(double frequency, double horizon, Rng& rng,
+                            Emit&& emit) {
+  if (frequency <= 0.0) return;
+  for (double t = SampleExponential(rng, frequency); t < horizon;
+       t += SampleExponential(rng, frequency)) {
+    emit(t);
+  }
+}
 
 /// One sync operation: refresh `element` at `time` (period units).
 struct SyncEvent {

@@ -36,6 +36,12 @@ struct SimulationConfig {
   /// paper's policy) or a memoryless Poisson process per element (the
   /// ablation baseline).
   SyncPolicy sync_policy = SyncPolicy::kFixedOrder;
+  /// Worker threads for the element-sharded run (0 = hardware concurrency).
+  /// Purely an execution knob: shard boundaries and per-shard RNG streams
+  /// depend only on the catalog size and seed, and per-shard statistics are
+  /// merged in shard order, so the SimulationResult is bit-identical at
+  /// every thread count (see common/parallel.h).
+  size_t threads = 0;
 };
 
 /// Metrics from one simulation run.
@@ -58,6 +64,13 @@ struct SimulationResult {
 };
 
 /// Simulates a mirror executing a synchronization plan.
+///
+/// Execution model: the catalog is split into fixed element shards
+/// (par::ShardPlan). Updates, syncs, and accesses are per-element
+/// independent under both sync policies, so each shard owns a private
+/// event queue (its elements' sync timeline, Poisson update stream, and
+/// the accesses routed to it), sorts it, and runs the Figure 4 state
+/// machine locally; per-shard statistics are merged in shard order.
 class MirrorSimulator {
  public:
   /// The catalog is copied; the simulator is reusable across plans.

@@ -1,0 +1,158 @@
+// Determinism of the parallelized solver stack: the thread knob on
+// KktWaterFillingSolver / AgeWaterFillingSolver / CoreProblem / VerifyKkt is
+// pure execution policy — every thread count must reproduce the 1-thread
+// bits exactly. Runs under `ctest -L tsan` in a FRESHEN_SANITIZE=thread
+// build.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "opt/age_water_filling.h"
+#include "opt/kkt.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace freshen {
+namespace {
+
+const std::vector<size_t> kThreadCounts = {1, 2, 4, 8};
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult SameAllocation(const Allocation& a,
+                                          const Allocation& b) {
+  if (a.frequencies.size() != b.frequencies.size()) {
+    return ::testing::AssertionFailure() << "frequency count differs";
+  }
+  for (size_t i = 0; i < a.frequencies.size(); ++i) {
+    if (!SameBits(a.frequencies[i], b.frequencies[i])) {
+      return ::testing::AssertionFailure()
+             << "frequencies[" << i << "] differs: " << a.frequencies[i]
+             << " vs " << b.frequencies[i];
+    }
+  }
+  if (!SameBits(a.multiplier, b.multiplier)) {
+    return ::testing::AssertionFailure()
+           << "multiplier differs: " << a.multiplier << " vs " << b.multiplier;
+  }
+  if (!SameBits(a.objective, b.objective)) {
+    return ::testing::AssertionFailure()
+           << "objective differs: " << a.objective << " vs " << b.objective;
+  }
+  if (!SameBits(a.bandwidth_used, b.bandwidth_used)) {
+    return ::testing::AssertionFailure() << "bandwidth_used differs: "
+                                         << a.bandwidth_used << " vs "
+                                         << b.bandwidth_used;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Table 2's workload (single shard) and a scaled-up version that spans
+// multiple shards, so both the inline and the pooled paths are covered.
+ElementSet Catalog(size_t n) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = n;
+  spec.syncs_per_period = 0.5 * static_cast<double>(n);
+  spec.alignment = Alignment::kShuffled;
+  return GenerateCatalog(spec).value();
+}
+
+class ParallelSolverTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelSolverTest, KktAllocationIsBitIdenticalAcrossThreads) {
+  const size_t n = GetParam();
+  const ElementSet elements = Catalog(n);
+  const CoreProblem problem =
+      MakePerceivedProblem(elements, 0.5 * static_cast<double>(n), false);
+
+  KktWaterFillingSolver::Options options;
+  options.threads = 1;
+  const Allocation reference =
+      KktWaterFillingSolver(options).Solve(problem).value();
+  EXPECT_TRUE(VerifyKkt(problem, reference).satisfied);
+
+  for (size_t threads : kThreadCounts) {
+    options.threads = threads;
+    const Allocation allocation =
+        KktWaterFillingSolver(options).Solve(problem).value();
+    EXPECT_TRUE(SameAllocation(allocation, reference))
+        << "n=" << n << " threads=" << threads;
+  }
+}
+
+TEST_P(ParallelSolverTest, AgeAllocationIsBitIdenticalAcrossThreads) {
+  const size_t n = GetParam();
+  const ElementSet elements = Catalog(n);
+  const CoreProblem problem =
+      MakePerceivedProblem(elements, 0.5 * static_cast<double>(n), false);
+
+  AgeWaterFillingSolver::Options options;
+  options.threads = 1;
+  const Allocation reference =
+      AgeWaterFillingSolver(options).Solve(problem).value();
+
+  for (size_t threads : kThreadCounts) {
+    options.threads = threads;
+    const Allocation allocation =
+        AgeWaterFillingSolver(options).Solve(problem).value();
+    EXPECT_TRUE(SameAllocation(allocation, reference))
+        << "n=" << n << " threads=" << threads;
+  }
+}
+
+TEST_P(ParallelSolverTest, ObjectiveSpendAndKktAreBitIdenticalAcrossThreads) {
+  const size_t n = GetParam();
+  const ElementSet elements = Catalog(n);
+  const CoreProblem problem =
+      MakePerceivedProblem(elements, 0.5 * static_cast<double>(n), false);
+  const Allocation allocation = KktWaterFillingSolver().Solve(problem).value();
+
+  const double objective_1t = problem.Objective(allocation.frequencies);
+  const double spend_1t = problem.Spend(allocation.frequencies);
+  const KktReport report_1t = VerifyKkt(problem, allocation);
+  for (size_t threads : kThreadCounts) {
+    const par::Executor exec(threads);
+    EXPECT_TRUE(SameBits(problem.Objective(allocation.frequencies, &exec),
+                         objective_1t))
+        << "n=" << n << " threads=" << threads;
+    EXPECT_TRUE(
+        SameBits(problem.Spend(allocation.frequencies, &exec), spend_1t))
+        << "n=" << n << " threads=" << threads;
+    const KktReport report = VerifyKkt(problem, allocation, 1e-6, &exec);
+    EXPECT_TRUE(SameBits(report.max_stationarity_violation,
+                         report_1t.max_stationarity_violation))
+        << "n=" << n << " threads=" << threads;
+    EXPECT_TRUE(SameBits(report.max_complementarity_violation,
+                         report_1t.max_complementarity_violation))
+        << "n=" << n << " threads=" << threads;
+    EXPECT_TRUE(SameBits(report.budget_violation, report_1t.budget_violation))
+        << "n=" << n << " threads=" << threads;
+    EXPECT_EQ(report.satisfied, report_1t.satisfied);
+  }
+}
+
+// 500 = the paper's Table 2 case (single shard, inline path); 20000 spans
+// multiple shards so the pooled path and the shard-order Kahan combine are
+// actually exercised.
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelSolverTest,
+                         ::testing::Values(size_t{500}, size_t{20000}));
+
+TEST(ParallelSolverTest, DefaultThreadsMatchesExplicitOne) {
+  // threads = 0 (hardware concurrency) must land on the same bits as 1.
+  const ElementSet elements = Catalog(20000);
+  const CoreProblem problem = MakePerceivedProblem(elements, 10000.0, false);
+  KktWaterFillingSolver::Options one;
+  one.threads = 1;
+  const Allocation a = KktWaterFillingSolver(one).Solve(problem).value();
+  const Allocation b = KktWaterFillingSolver().Solve(problem).value();
+  EXPECT_TRUE(SameAllocation(a, b));
+}
+
+}  // namespace
+}  // namespace freshen

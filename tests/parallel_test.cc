@@ -1,0 +1,216 @@
+// freshen::par — the deterministic parallel primitives. The load-bearing
+// property is the determinism contract: shard boundaries depend only on n,
+// and reductions are bit-identical at every thread count. These tests run
+// under `ctest -L tsan` in a FRESHEN_SANITIZE=thread build.
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
+
+namespace freshen::par {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// A term whose value is sensitive to summation order (wide dynamic range,
+// alternating sign) — exactly the kind of sum where a nondeterministic
+// reduction tree would show up as bit differences.
+double WildTerm(size_t i) {
+  const double x = static_cast<double>(i % 9973) + 1.0;
+  const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+  return sign * std::exp(std::sin(x)) * std::pow(10.0, static_cast<double>(i % 7) - 3.0);
+}
+
+TEST(ShardPlanTest, CoversIndexSpaceContiguously) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, kShardGrain,
+                   kShardGrain + 1, size_t{100000}, size_t{1000000}}) {
+    const std::vector<Shard> plan = ShardPlan(n);
+    ASSERT_EQ(plan.size(), ShardCount(n)) << "n=" << n;
+    size_t expected_begin = 0;
+    for (size_t s = 0; s < plan.size(); ++s) {
+      EXPECT_EQ(plan[s].index, s) << "n=" << n;
+      EXPECT_EQ(plan[s].begin, expected_begin) << "n=" << n;
+      EXPECT_LT(plan[s].begin, plan[s].end) << "n=" << n;
+      expected_begin = plan[s].end;
+    }
+    if (n > 0) {
+      EXPECT_EQ(plan.back().end, n);
+    }
+  }
+}
+
+TEST(ShardPlanTest, ShardSizesDifferByAtMostOne) {
+  for (size_t n : {size_t{10000}, size_t{123457}, size_t{1000003}}) {
+    const std::vector<Shard> plan = ShardPlan(n);
+    size_t min_size = n;
+    size_t max_size = 0;
+    for (const Shard& shard : plan) {
+      min_size = std::min(min_size, shard.size());
+      max_size = std::max(max_size, shard.size());
+    }
+    EXPECT_LE(max_size - min_size, 1u) << "n=" << n;
+  }
+}
+
+TEST(ShardPlanTest, SmallProblemsAreSingleShard) {
+  // n <= kShardGrain => one shard => reductions equal the sequential Kahan
+  // sum exactly. This is what keeps small workloads byte-identical to the
+  // pre-sharding implementation.
+  EXPECT_EQ(ShardCount(1), 1u);
+  EXPECT_EQ(ShardCount(kShardGrain), 1u);
+  EXPECT_GT(ShardCount(2 * kShardGrain), 1u);
+  EXPECT_EQ(ShardCount(0), 0u);
+}
+
+TEST(ShardPlanTest, ShardCountIsCapped) {
+  EXPECT_EQ(ShardCount(size_t{1} << 40), kMaxShards);
+}
+
+TEST(ShardPlanTest, ShardIndexOfMatchesPlan) {
+  for (size_t n : {size_t{1}, size_t{4096}, size_t{4097}, size_t{50000},
+                   size_t{300000}}) {
+    const std::vector<Shard> plan = ShardPlan(n);
+    for (const Shard& shard : plan) {
+      // Boundaries are where off-by-one errors live; probe them plus an
+      // interior point.
+      for (size_t i : {shard.begin, shard.end - 1,
+                       shard.begin + shard.size() / 2}) {
+        EXPECT_EQ(ShardIndexOf(n, i), shard.index) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, ThreadsResolve) {
+  EXPECT_EQ(Executor(1).threads(), 1u);
+  EXPECT_EQ(Executor(4).threads(), 4u);
+  EXPECT_GE(Executor(0).threads(), 1u);  // 0 = hardware concurrency.
+}
+
+TEST(ExecutorTest, ForEachWritesEveryIndexOnce) {
+  const size_t n = 100000;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<double> out(n, -1.0);
+    Executor(threads).ForEach(n, [&](size_t i) {
+      out[i] = static_cast<double>(i) * 0.5;
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], static_cast<double>(i) * 0.5)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ExecutorTest, ForShardsVisitsEveryShardExactlyOnce) {
+  const size_t n = 200000;
+  const std::vector<Shard> plan = ShardPlan(n);
+  for (size_t threads : {1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> visits(plan.size());
+    for (auto& v : visits) v.store(0);
+    Executor(threads).ForShards(plan, [&](const Shard& shard) {
+      visits[shard.index].fetch_add(1);
+    });
+    for (size_t s = 0; s < plan.size(); ++s) {
+      EXPECT_EQ(visits[s].load(), 1) << "threads=" << threads << " s=" << s;
+    }
+  }
+}
+
+TEST(ExecutorTest, SumIsBitIdenticalAcrossThreadCounts) {
+  const size_t n = 300000;
+  const double reference = Executor(1).Sum(n, WildTerm);
+  for (size_t threads : {2u, 4u, 8u}) {
+    const double value = Executor(threads).Sum(n, WildTerm);
+    EXPECT_TRUE(SameBits(value, reference))
+        << "threads=" << threads << " value=" << value
+        << " reference=" << reference;
+  }
+}
+
+TEST(ExecutorTest, SingleShardSumEqualsSequentialKahan) {
+  // The byte-compatibility guarantee for small problems.
+  const size_t n = kShardGrain;
+  KahanSum sequential;
+  for (size_t i = 0; i < n; ++i) sequential.Add(WildTerm(i));
+  for (size_t threads : {1u, 8u}) {
+    const double value = Executor(threads).Sum(n, WildTerm);
+    EXPECT_TRUE(SameBits(value, sequential.Total())) << "threads=" << threads;
+  }
+}
+
+TEST(ExecutorTest, SumHandlesEmptyAndTinyRanges) {
+  EXPECT_EQ(Executor(4).Sum(0, WildTerm), 0.0);
+  EXPECT_TRUE(SameBits(Executor(4).Sum(1, WildTerm), WildTerm(0)));
+}
+
+TEST(ExecutorTest, MaxIsBitIdenticalAcrossThreadCounts) {
+  const size_t n = 250000;
+  auto term = [](size_t i) {
+    return std::sin(static_cast<double>(i) * 0.001) *
+           static_cast<double>(i % 101);
+  };
+  const double reference = Executor(1).Max(n, term, 0.0);
+  double sequential = 0.0;
+  for (size_t i = 0; i < n; ++i) sequential = std::max(sequential, term(i));
+  EXPECT_EQ(reference, sequential);
+  for (size_t threads : {2u, 4u, 8u}) {
+    EXPECT_TRUE(SameBits(Executor(threads).Max(n, term, 0.0), reference))
+        << "threads=" << threads;
+  }
+  EXPECT_EQ(Executor(4).Max(0, term, -3.5), -3.5);  // init for empty range.
+}
+
+TEST(TaskGroupTest, JoinWaitsForAllSpawnedWork) {
+  std::atomic<int> done{0};
+  {
+    TaskGroup group;
+    for (int i = 0; i < 200; ++i) {
+      group.Spawn([&done] { done.fetch_add(1); });
+    }
+    group.Join();
+    EXPECT_EQ(done.load(), 200);
+  }
+}
+
+TEST(TaskGroupTest, DestructorJoins) {
+  std::atomic<int> done{0};
+  {
+    TaskGroup group;
+    for (int i = 0; i < 50; ++i) group.Spawn([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ParMetricsTest, RegionsAreCounted) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* pooled =
+      registry.GetCounter("freshen_par_regions_total", {{"mode", "pooled"}});
+  obs::Counter* inline_regions =
+      registry.GetCounter("freshen_par_regions_total", {{"mode", "inline"}});
+  const double pooled_before = pooled->value();
+  const double inline_before = inline_regions->value();
+
+  Executor(1).Sum(100000, WildTerm);  // 1 thread => inline region.
+  EXPECT_GE(inline_regions->value(), inline_before + 1.0);
+
+  Executor(4).Sum(100000, WildTerm);  // multi-shard, 4 threads => pooled.
+  EXPECT_GE(pooled->value(), pooled_before + 1.0);
+  const double efficiency =
+      registry.GetGauge("freshen_par_last_region_efficiency")->value();
+  EXPECT_GE(efficiency, 0.0);
+  EXPECT_LE(efficiency, 1.0 + 1e-9);
+  EXPECT_EQ(registry.GetGauge("freshen_par_last_region_threads")->value(),
+            4.0);
+}
+
+}  // namespace
+}  // namespace freshen::par

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/planner.h"
+#include "model/freshness.h"
 #include "model/metrics.h"
 #include "opt/kkt.h"
 #include "opt/problem.h"
@@ -174,6 +175,91 @@ TEST_P(KMeansPropertyTest, RefinePreservesCoverageAndDistortion) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Keys, KMeansPropertyTest, ::testing::Range(0, 10));
+
+// ---- Inverse-kernel round trips -----------------------------------------
+// The water-filling solvers stand on g^{-1} and h^{-1}; their documented
+// contract is |g(g^{-1}(y)) - y| <= 1e-12. Sweep y log-spaced across the
+// whole domain so both the small-r series branch and the direct evaluation
+// (and the crossover between them) are hit.
+
+TEST(KernelRoundTripTest, MarginalGainGRoundTripsAcrossDomain) {
+  // g maps [0, inf) onto [0, 1); log-space y from deep in the series branch
+  // (g(r) ~ r^2/2, so y = 1e-18 -> r ~ 2e-9) up to nearly 1.
+  for (int e = -180; e <= -1; ++e) {
+    const double y = std::pow(10.0, static_cast<double>(e) / 10.0);
+    const double r = InverseMarginalGainG(y);
+    ASSERT_GT(r, 0.0) << "y=" << y;
+    EXPECT_NEAR(MarginalGainG(r), y, 1e-12) << "y=" << y << " r=" << r;
+  }
+  // Close to the top of the range (r grows like -log(1-y)).
+  for (double y : {0.9, 0.99, 0.999, 0.999999, 1.0 - 1e-9}) {
+    const double r = InverseMarginalGainG(y);
+    EXPECT_NEAR(MarginalGainG(r), y, 1e-12) << "y=" << y << " r=" << r;
+  }
+}
+
+TEST(KernelRoundTripTest, MarginalGainGRoundTripsAtSeriesCrossover) {
+  // freshness.cc switches from the Taylor series to direct evaluation at
+  // r = 1e-4; the inverse must round-trip on both sides of the seam.
+  for (double r : {1e-5, 9e-5, 9.9e-5, 1e-4, 1.01e-4, 1.1e-4, 1e-3}) {
+    const double y = MarginalGainG(r);
+    const double back = InverseMarginalGainG(y);
+    EXPECT_NEAR(MarginalGainG(back), y, 1e-12) << "r=" << r;
+    // The value-level contract (1e-12) pins the root only to within
+    // 1e-12 / g'(r); add a relative floor for the arithmetic itself.
+    EXPECT_NEAR(back, r, 2e-12 / MarginalGainGPrime(r) + 1e-9 * r)
+        << "r=" << r;
+  }
+}
+
+TEST(KernelRoundTripTest, AgeMarginalKernelHRoundTripsAcrossDomain) {
+  // h maps [0, inf) onto [0, inf): cover the series branch (h(r) ~ r^3/3),
+  // the crossover region, and the quadratic tail (h(r) ~ r^2/2 - 1).
+  for (int e = -180; e <= 120; ++e) {
+    const double y = std::pow(10.0, static_cast<double>(e) / 10.0);
+    const double r = InverseAgeMarginalKernelH(y);
+    ASSERT_GT(r, 0.0) << "y=" << y;
+    EXPECT_NEAR(AgeMarginalKernelH(r), y, 1e-12 * std::max(1.0, y))
+        << "y=" << y << " r=" << r;
+  }
+}
+
+TEST(KernelRoundTripTest, AgeMarginalKernelHRoundTripsAtSeriesCrossover) {
+  // The h series/direct seam sits at r = 1e-3.
+  for (double r : {1e-4, 9e-4, 9.9e-4, 1e-3, 1.01e-3, 1.1e-3, 1e-2}) {
+    const double y = AgeMarginalKernelH(r);
+    const double back = InverseAgeMarginalKernelH(y);
+    EXPECT_NEAR(AgeMarginalKernelH(back), y, 1e-12 * std::max(1.0, y))
+        << "r=" << r;
+    EXPECT_NEAR(back, r, 2e-12 / AgeMarginalKernelHPrime(r) + 1e-9 * r)
+        << "r=" << r;
+  }
+}
+
+TEST(KernelRoundTripTest, WarmStartedInversesMatchColdStart) {
+  // The solvers' warm-started overloads must land on the same root as the
+  // cold start — a bad guess may cost iterations, never correctness. Guesses
+  // span below, near, above, and nonsense.
+  for (int e = -120; e <= -1; e += 7) {
+    const double y = std::pow(10.0, static_cast<double>(e) / 10.0);
+    const double cold = InverseMarginalGainG(y);
+    for (double guess : {cold * 0.5, cold * 0.999, cold, cold * 1.001,
+                         cold * 2.0, 0.0, -3.0, 1e300}) {
+      EXPECT_NEAR(MarginalGainG(InverseMarginalGainG(y, guess)), y, 1e-12)
+          << "y=" << y << " guess=" << guess;
+    }
+  }
+  for (int e = -120; e <= 120; e += 11) {
+    const double y = std::pow(10.0, static_cast<double>(e) / 10.0);
+    const double cold = InverseAgeMarginalKernelH(y);
+    for (double guess :
+         {cold * 0.5, cold, cold * 2.0, 0.0, -1.0, 1e300}) {
+      EXPECT_NEAR(AgeMarginalKernelH(InverseAgeMarginalKernelH(y, guess)), y,
+                  1e-12 * std::max(1.0, y))
+          << "y=" << y << " guess=" << guess;
+    }
+  }
+}
 
 TEST_P(SolverPropertyTest, ProblemIsScaleInvariant) {
   // F depends only on lambda/f, so scaling every change rate AND the budget

@@ -1,0 +1,176 @@
+// Determinism of the sharded MirrorSimulator: per-shard event queues, forked
+// RNG streams reconstructed from a serial fork order, and shard-order stat
+// merging must make SimulationResult bit-identical at every thread count,
+// for both sync policies. Runs under `ctest -L tsan` in a
+// FRESHEN_SANITIZE=thread build.
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "model/freshness.h"
+#include "opt/problem.h"
+#include "opt/water_filling.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+#include "workload/spec.h"
+
+namespace freshen {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult SameResult(const SimulationResult& a,
+                                      const SimulationResult& b) {
+  if (!SameBits(a.empirical_perceived_freshness,
+                b.empirical_perceived_freshness)) {
+    return ::testing::AssertionFailure()
+           << "empirical_perceived_freshness differs: "
+           << a.empirical_perceived_freshness << " vs "
+           << b.empirical_perceived_freshness;
+  }
+  if (!SameBits(a.empirical_general_freshness,
+                b.empirical_general_freshness)) {
+    return ::testing::AssertionFailure()
+           << "empirical_general_freshness differs: "
+           << a.empirical_general_freshness << " vs "
+           << b.empirical_general_freshness;
+  }
+  if (!SameBits(a.empirical_perceived_age, b.empirical_perceived_age)) {
+    return ::testing::AssertionFailure()
+           << "empirical_perceived_age differs: " << a.empirical_perceived_age
+           << " vs " << b.empirical_perceived_age;
+  }
+  if (!SameBits(a.analytic_perceived_freshness,
+                b.analytic_perceived_freshness) ||
+      !SameBits(a.analytic_general_freshness, b.analytic_general_freshness)) {
+    return ::testing::AssertionFailure() << "analytic metrics differ";
+  }
+  if (a.num_accesses != b.num_accesses || a.num_updates != b.num_updates ||
+      a.num_syncs != b.num_syncs) {
+    return ::testing::AssertionFailure()
+           << "event counts differ: accesses " << a.num_accesses << "/"
+           << b.num_accesses << " updates " << a.num_updates << "/"
+           << b.num_updates << " syncs " << a.num_syncs << "/" << b.num_syncs;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+ElementSet Catalog(size_t n) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = n;
+  spec.syncs_per_period = 0.5 * static_cast<double>(n);
+  spec.alignment = Alignment::kShuffled;
+  return GenerateCatalog(spec).value();
+}
+
+std::vector<double> PlanFrequencies(const ElementSet& elements,
+                                    double bandwidth) {
+  const CoreProblem problem = MakePerceivedProblem(elements, bandwidth, false);
+  return KktWaterFillingSolver().Solve(problem).value().frequencies;
+}
+
+struct ShardCase {
+  size_t n;
+  SyncPolicy policy;
+};
+
+class SimShardTest : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(SimShardTest, ResultIsBitIdenticalAcrossThreadCounts) {
+  const ShardCase param = GetParam();
+  const ElementSet elements = Catalog(param.n);
+  const std::vector<double> frequencies =
+      PlanFrequencies(elements, 0.5 * static_cast<double>(param.n));
+
+  SimulationConfig config;
+  config.horizon_periods = 12.0;
+  config.warmup_periods = 2.0;
+  config.accesses_per_period = 2000.0;
+  config.seed = 20030305;
+  config.sync_policy = param.policy;
+
+  config.threads = 1;
+  const SimulationResult reference =
+      MirrorSimulator(elements, config).Run(frequencies).value();
+  EXPECT_GT(reference.num_accesses, 0u);
+
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}, size_t{0}}) {
+    config.threads = threads;  // 0 = hardware concurrency.
+    const SimulationResult result =
+        MirrorSimulator(elements, config).Run(frequencies).value();
+    EXPECT_TRUE(SameResult(result, reference))
+        << "n=" << param.n << " threads=" << threads;
+  }
+}
+
+// 300 fits one shard (inline path); 9000 spans multiple shards, so shard
+// routing, per-shard queues, and the stat merge actually run. Both sync
+// policies: FixedOrder uses the closed-form timeline, Poisson reconstructs
+// per-element RNG streams from the serial fork order.
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SimShardTest,
+    ::testing::Values(ShardCase{300, SyncPolicy::kFixedOrder},
+                      ShardCase{300, SyncPolicy::kPoisson},
+                      ShardCase{9000, SyncPolicy::kFixedOrder},
+                      ShardCase{9000, SyncPolicy::kPoisson}));
+
+TEST(SimShardTest, MultiShardEmpiricalStillTracksAnalytic) {
+  // Sharding must not change what is being simulated: the empirical/analytic
+  // agreement (the paper's verification protocol) holds on a multi-shard run.
+  const ElementSet elements = Catalog(9000);
+  const std::vector<double> frequencies = PlanFrequencies(elements, 4500.0);
+  SimulationConfig config;
+  config.horizon_periods = 60.0;
+  config.warmup_periods = 10.0;
+  config.accesses_per_period = 3000.0;
+  config.seed = 11;
+  const SimulationResult result =
+      MirrorSimulator(elements, config).Run(frequencies).value();
+  EXPECT_NEAR(result.empirical_perceived_freshness,
+              result.analytic_perceived_freshness, 0.03);
+  EXPECT_NEAR(result.empirical_general_freshness,
+              result.analytic_general_freshness, 0.03);
+}
+
+TEST(SimShardTest, RejectsInvalidFrequencies) {
+  const ElementSet elements = Catalog(300);
+  std::vector<double> frequencies(elements.size(), 1.0);
+  frequencies[7] = -0.5;
+  SimulationConfig config;
+  config.threads = 4;
+  const auto result = MirrorSimulator(elements, config).Run(frequencies);
+  EXPECT_FALSE(result.ok());
+  frequencies[7] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(MirrorSimulator(elements, config).Run(frequencies).ok());
+}
+
+TEST(SimShardTest, ZeroAccessRunIsStillDeterministic) {
+  // No access stream (the general-freshness-only configuration): the sharded
+  // integrator alone must still be bit-identical.
+  const ElementSet elements = Catalog(9000);
+  std::vector<double> frequencies(elements.size(), 0.7);
+  SimulationConfig config;
+  config.horizon_periods = 8.0;
+  config.warmup_periods = 1.0;
+  config.accesses_per_period = 0.0;
+  config.seed = 3;
+
+  config.threads = 1;
+  const SimulationResult reference =
+      MirrorSimulator(elements, config).Run(frequencies).value();
+  EXPECT_EQ(reference.num_accesses, 0u);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    config.threads = threads;
+    const SimulationResult result =
+        MirrorSimulator(elements, config).Run(frequencies).value();
+    EXPECT_TRUE(SameResult(result, reference)) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace freshen
