@@ -3,6 +3,9 @@
 //      size and queue depth against a lossy, jittery SimulatedSource?
 //   2. Does routing the online loop through a PerfectSource executor cost
 //      anything versus the inline-sync path (the "zero regression" check)?
+//   3. What does enabling the obs flight recorder cost on the commit-heavy
+//      path (written to BENCH_recorder.json; budget is <= 5%)?
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -13,6 +16,7 @@
 #include "common/table_writer.h"
 #include "mirror/online_loop.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sync/executor.h"
 #include "sync/source.h"
 
@@ -116,6 +120,31 @@ double TimeLoop(const ElementSet& truth, sync::SyncExecutor* executor,
   return NowSeconds() - start;
 }
 
+// Recorder-overhead probe: the same commit-heavy workload against the
+// non-sleeping SimulatedSource, so wall time is all dispatch + commit work
+// and the emit path has nowhere to hide behind transport sleeps. The global
+// recorder's enabled flag is what freshenctl --trace-out flips.
+double MeasureCommitSeconds(size_t tasks_per_batch, int batches) {
+  obs::MetricsRegistry registry;
+  sync::SimulatedSource::Options source_options;
+  source_options.base_latency_seconds = 100e-6;
+  source_options.mean_jitter_seconds = 100e-6;
+  source_options.error_rate = 0.05;
+  auto source = sync::SimulatedSource::Create(source_options).value();
+
+  sync::SyncExecutor::Options options;
+  options.num_threads = 4;
+  options.queue_capacity = tasks_per_batch;
+  options.registry = &registry;
+  auto executor = sync::SyncExecutor::Create(&source, options).value();
+
+  const double start = NowSeconds();
+  for (int batch = 0; batch < batches; ++batch) {
+    executor->Execute(MakeBatch(tasks_per_batch));
+  }
+  return NowSeconds() - start;
+}
+
 }  // namespace
 
 int main() {
@@ -174,5 +203,52 @@ int main() {
               inline_pf == executor_pf ? "EXACT" : "MISMATCH",
               100.0 * (executor_seconds - inline_seconds) /
                   (inline_seconds > 0 ? inline_seconds : 1.0));
+
+  std::printf("\n== Flight-recorder overhead ==\n");
+  const size_t recorder_tasks = quick ? 2000 : 20000;
+  const int recorder_batches = quick ? 3 : 8;
+  std::printf("non-sleeping SimulatedSource, pool 4; %zu tasks x %d batches, "
+              "best of 3 reps\n\n",
+              recorder_tasks, recorder_batches);
+  obs::EventRecorder& recorder = obs::EventRecorder::Global();
+  double off_seconds = 1e300;
+  double on_seconds = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    recorder.set_enabled(false);
+    off_seconds = std::min(off_seconds,
+                           MeasureCommitSeconds(recorder_tasks,
+                                                recorder_batches));
+    recorder.Reset();  // Stats below describe exactly one enabled run.
+    recorder.set_enabled(true);
+    on_seconds = std::min(on_seconds,
+                          MeasureCommitSeconds(recorder_tasks,
+                                               recorder_batches));
+    recorder.set_enabled(false);
+  }
+  const obs::EventRecorder::Stats recorder_stats = recorder.stats();
+  const double overhead_pct =
+      100.0 * (on_seconds - off_seconds) /
+      (off_seconds > 0 ? off_seconds : 1.0);
+  TableWriter overhead({"recorder", "wall sec", "events emitted", "dropped"});
+  overhead.AddRow({"off", std::to_string(off_seconds), "0", "0"});
+  overhead.AddRow({"on", std::to_string(on_seconds),
+                   std::to_string(recorder_stats.emitted),
+                   std::to_string(recorder_stats.dropped)});
+  std::printf("%s\n", overhead.ToText().c_str());
+  std::printf("recorder overhead: %.1f%% (budget 5%%)\n", overhead_pct);
+
+  if (std::FILE* file = std::fopen("BENCH_recorder.json", "w")) {
+    std::fprintf(file,
+                 "{\"off_seconds\": %.6f, \"on_seconds\": %.6f, "
+                 "\"overhead_pct\": %.2f, \"events_per_run\": %llu, "
+                 "\"dropped_per_run\": %llu, \"tasks_per_batch\": %zu, "
+                 "\"batches\": %d}\n",
+                 off_seconds, on_seconds, overhead_pct,
+                 (unsigned long long)recorder_stats.emitted,
+                 (unsigned long long)recorder_stats.dropped, recorder_tasks,
+                 recorder_batches);
+    std::fclose(file);
+    std::printf("wrote BENCH_recorder.json\n");
+  }
   return inline_pf == executor_pf ? 0 : 1;
 }

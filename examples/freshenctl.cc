@@ -33,10 +33,29 @@
 //       freshness). The faulted run reports into the global registry, so
 //       --metrics-out exports all freshen_sync_* series.
 //
+//   trace [--objects N] [--bandwidth B] [--periods P] [--accesses A]
+//         [--error-rate E] [--stall-rate S] [--pool T] [--queue Q]
+//         [--retries R] [--seed K] [--age-slo S] [--top-k K]
+//         [--trace-out FILE] [--timeline-out FILE]
+//       Flight-recorder showcase: run the closed loop against a
+//       fault-injecting executor with the event recorder on and the
+//       staleness timeline attached, then write a Chrome trace_event JSON
+//       (open it at ui.perfetto.dev) and print the per-element staleness
+//       offenders and the fresh-access SLO. Defaults shrink under
+//       FRESHEN_QUICK=1. --trace-out defaults to freshen_trace.json here.
+//
 // Any command accepts --metrics-out FILE and --metrics-format json|prom|csv:
 // after the command runs, the registry snapshot is written to FILE (the
 // `metrics` command prints to stdout when --metrics-out is omitted). Flags
 // may be spelled --flag value or --flag=value.
+//
+// Any command also accepts --trace-out FILE (enables the global event
+// recorder and writes the run's Chrome trace JSON there afterwards), and
+// plan/eval/metrics/sync-drill/trace accept --timeline-out FILE (writes the
+// staleness-attribution report; .json extension selects JSON, anything else
+// the per-element CSV documented in EXPERIMENTS.md). plan and eval attribute
+// staleness by simulating the planned schedule; metrics, sync-drill, and
+// trace attribute the online loop itself.
 //
 // Example:
 //   freshenctl gen --objects 1000 --theta 1.2 --out catalog.csv
@@ -47,6 +66,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,8 +74,11 @@
 #include "common/table_writer.h"
 #include "freshen/freshen.h"
 #include "io/catalog_io.h"
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/timeline.h"
 
 namespace {
 
@@ -122,6 +145,11 @@ T Unwrap(Result<T> result) {
   if (!result.ok()) Die(result.status());
   return std::move(result).value();
 }
+
+void SimulateTimeline(const ElementSet& catalog,
+                      const std::vector<double>& frequencies,
+                      const std::map<std::string, std::string>& flags,
+                      const std::string& out);
 
 int RunGen(const std::map<std::string, std::string>& flags) {
   ExperimentSpec spec;
@@ -215,6 +243,10 @@ int RunPlan(const std::map<std::string, std::string>& flags) {
     if (!status.ok()) Die(status);
     std::printf("schedule written : %s\n", out.c_str());
   }
+  const std::string timeline_out = GetFlag(flags, "--timeline-out", "");
+  if (!timeline_out.empty()) {
+    SimulateTimeline(catalog, frequencies, flags, timeline_out);
+  }
   return 0;
 }
 
@@ -245,6 +277,12 @@ int RunEval(const std::map<std::string, std::string>& flags) {
     std::printf("simulated PF         %8.4f   %8.4f\n",
                 pf_sim.empirical_perceived_freshness,
                 gf_sim.empirical_perceived_freshness);
+  }
+  const std::string timeline_out = GetFlag(flags, "--timeline-out", "");
+  if (!timeline_out.empty()) {
+    // Attribute the PF plan's staleness (its own simulation run, so the
+    // ledger covers exactly one schedule).
+    SimulateTimeline(catalog, pf.frequencies, flags, timeline_out);
   }
   return 0;
 }
@@ -282,6 +320,77 @@ void MaybeDumpMetrics(const std::map<std::string, std::string>& flags,
   }
 }
 
+bool QuickMode() { return std::getenv("FRESHEN_QUICK") != nullptr; }
+
+// Writes the attribution report to `out`: .json selects the window/offender
+// JSON document, anything else the per-element CSV (EXPERIMENTS.md schema).
+void WriteTimelineReport(const obs::TimelineReport& report,
+                         const std::string& out) {
+  const bool json =
+      out.size() >= 5 && out.compare(out.size() - 5, 5, ".json") == 0;
+  const std::string text = json ? obs::FormatTimelineJson(report)
+                                : obs::FormatTimelineCsv(report);
+  const Status status = WriteStringToFile(text, out);
+  if (!status.ok()) Die(status);
+  std::printf("timeline written : %s (%zu elements, %zu windows, %s)\n",
+              out.c_str(), report.elements.size(), report.periods.size(),
+              json ? "json" : "csv");
+}
+
+// Prints the report's headline numbers and top-k offender table.
+void PrintTimelineSummary(const obs::TimelineReport& report) {
+  std::printf("weighted fresh.  : %.6f (timeline-measured)\n",
+              report.overall.weighted_freshness);
+  std::printf("fresh accesses   : %.4f of %llu\n", report.fresh_access_ratio,
+              (unsigned long long)report.overall.accesses);
+  std::printf("age SLO (<=%.3g) : %.4f\n", report.age_slo,
+              report.slo_access_ratio);
+  if (report.overall.offenders.empty()) return;
+  TableWriter table({"element", "weight", "stale time", "fresh frac",
+                     "score"});
+  for (const obs::TimelineElementStats& e : report.overall.offenders) {
+    table.AddRow({std::to_string(e.element), FormatDouble(e.weight, 5),
+                  FormatDouble(e.stale_time, 4),
+                  FormatDouble(e.fresh_fraction, 4),
+                  FormatDouble(e.stale_score, 6)});
+  }
+  std::printf("staleness offenders (top %zu):\n%s",
+              report.overall.offenders.size(), table.ToText().c_str());
+}
+
+// Simulates `frequencies` over `catalog` with an attached timeline and
+// writes the attribution report — the plan/eval path to --timeline-out.
+void SimulateTimeline(const ElementSet& catalog,
+                      const std::vector<double>& frequencies,
+                      const std::map<std::string, std::string>& flags,
+                      const std::string& out) {
+  const bool quick = QuickMode();
+  SimulationConfig config;
+  config.horizon_periods =
+      GetDouble(flags, "--horizon", quick ? 20.0 : 100.0);
+  config.warmup_periods = 0.1 * config.horizon_periods;
+  config.accesses_per_period =
+      GetDouble(flags, "--sim-accesses", quick ? 500.0 : 5000.0);
+  config.seed = static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+  obs::StalenessTimeline::Options timeline_options;
+  timeline_options.window_begin = config.warmup_periods;
+  timeline_options.window_end = config.horizon_periods;
+  timeline_options.age_slo = GetDouble(flags, "--age-slo", 0.25);
+  timeline_options.top_k =
+      static_cast<size_t>(GetDouble(flags, "--top-k", 10));
+  obs::StalenessTimeline timeline = Unwrap(obs::StalenessTimeline::Create(
+      AccessProbs(catalog), timeline_options));
+  config.timeline = &timeline;
+  MirrorSimulator simulator(catalog, config);
+  const SimulationResult sim = Unwrap(simulator.Run(frequencies));
+  const obs::TimelineReport report = timeline.Finalize();
+  std::printf("simulated PF     : %.6f (measured %.6f)\n",
+              sim.empirical_perceived_freshness,
+              sim.measured_weighted_freshness);
+  PrintTimelineSummary(report);
+  WriteTimelineReport(report, out);
+}
+
 int RunMetrics(const std::map<std::string, std::string>& flags) {
   ExperimentSpec spec;
   spec.num_objects = static_cast<size_t>(GetDouble(flags, "--objects", 200));
@@ -295,6 +404,20 @@ int RunMetrics(const std::map<std::string, std::string>& flags) {
   OnlineFreshenLoop::Options options;
   options.accesses_per_period = GetDouble(flags, "--accesses", 1000.0);
   options.seed = spec.seed ^ 0x6f6c6fULL;
+
+  const std::string timeline_out = GetFlag(flags, "--timeline-out", "");
+  std::unique_ptr<obs::StalenessTimeline> timeline;
+  if (!timeline_out.empty()) {
+    obs::StalenessTimeline::Options timeline_options;
+    timeline_options.window_end = static_cast<double>(periods);
+    timeline_options.age_slo = GetDouble(flags, "--age-slo", 0.25);
+    timeline_options.top_k =
+        static_cast<size_t>(GetDouble(flags, "--top-k", 10));
+    timeline = std::make_unique<obs::StalenessTimeline>(Unwrap(
+        obs::StalenessTimeline::Create(AccessProbs(truth),
+                                       timeline_options)));
+    options.timeline = timeline.get();
+  }
   auto loop = Unwrap(OnlineFreshenLoop::Create(truth, bandwidth, options));
 
   std::printf("objects   : %zu\n", truth.size());
@@ -307,6 +430,11 @@ int RunMetrics(const std::map<std::string, std::string>& flags) {
         period, (unsigned long long)stats.accesses,
         (unsigned long long)stats.syncs, stats.perceived_freshness,
         stats.bandwidth_spent, stats.replanned ? " [replanned]" : "");
+  }
+  if (timeline != nullptr) {
+    const obs::TimelineReport report = timeline->Finalize();
+    PrintTimelineSummary(report);
+    WriteTimelineReport(report, timeline_out);
   }
   return 0;
 }
@@ -386,8 +514,23 @@ int RunSyncDrill(const std::map<std::string, std::string>& flags) {
   obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
   auto faulted_executor = Unwrap(
       sync::SyncExecutor::Create(&faulty, make_executor_options(&global)));
-  auto faulted_loop = Unwrap(OnlineFreshenLoop::Create(
-      truth, bandwidth, make_loop_options(&global, faulted_executor.get())));
+  OnlineFreshenLoop::Options faulted_options =
+      make_loop_options(&global, faulted_executor.get());
+  const std::string timeline_out = GetFlag(flags, "--timeline-out", "");
+  std::unique_ptr<obs::StalenessTimeline> timeline;
+  if (!timeline_out.empty()) {
+    obs::StalenessTimeline::Options timeline_options;
+    timeline_options.window_end = static_cast<double>(periods);
+    timeline_options.age_slo = GetDouble(flags, "--age-slo", 0.25);
+    timeline_options.top_k =
+        static_cast<size_t>(GetDouble(flags, "--top-k", 10));
+    timeline = std::make_unique<obs::StalenessTimeline>(Unwrap(
+        obs::StalenessTimeline::Create(AccessProbs(truth),
+                                       timeline_options)));
+    faulted_options.timeline = timeline.get();
+  }
+  auto faulted_loop =
+      Unwrap(OnlineFreshenLoop::Create(truth, bandwidth, faulted_options));
 
   std::printf("objects    : %zu\n", truth.size());
   std::printf("bandwidth  : %.6g per period\n", bandwidth);
@@ -420,7 +563,91 @@ int RunSyncDrill(const std::map<std::string, std::string>& flags) {
               (unsigned long long)total_failed, total_wasted,
               (unsigned long long)faulted_executor->breaker()
                   .open_transitions());
+  if (timeline != nullptr) {
+    const obs::TimelineReport report = timeline->Finalize();
+    PrintTimelineSummary(report);
+    WriteTimelineReport(report, timeline_out);
+  }
   return parity ? 0 : 1;
+}
+
+int RunTrace(const std::map<std::string, std::string>& flags) {
+  const bool quick = QuickMode();
+  ExperimentSpec spec;
+  spec.num_objects = static_cast<size_t>(
+      GetDouble(flags, "--objects", quick ? 64 : 200));
+  spec.theta = GetDouble(flags, "--theta", 1.0);
+  spec.seed = static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+  const ElementSet truth = Unwrap(GenerateCatalog(spec));
+
+  const double bandwidth = GetDouble(
+      flags, "--bandwidth", 0.25 * static_cast<double>(spec.num_objects));
+  const int periods =
+      static_cast<int>(GetDouble(flags, "--periods", quick ? 3 : 8));
+
+  // Fault-injecting executor in the global registry, same shape as the
+  // sync-drill's pass 3 — the trace is most interesting when retries,
+  // timeouts, and breaker transitions actually happen.
+  sync::SimulatedSource::Options source_options;
+  source_options.error_rate = GetDouble(flags, "--error-rate", 0.3);
+  source_options.stall_rate = GetDouble(flags, "--stall-rate", 0.05);
+  source_options.mean_jitter_seconds =
+      GetDouble(flags, "--latency-mean", 0.008);
+  source_options.seed = spec.seed ^ 0x647268ULL;
+  sync::SimulatedSource faulty =
+      Unwrap(sync::SimulatedSource::Create(source_options));
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  sync::SyncExecutor::Options executor_options;
+  executor_options.num_threads =
+      static_cast<size_t>(GetDouble(flags, "--pool", 4));
+  executor_options.queue_capacity =
+      static_cast<size_t>(GetDouble(flags, "--queue", 1024));
+  executor_options.retry.max_attempts =
+      static_cast<uint32_t>(GetDouble(flags, "--retries", 2));
+  executor_options.seed = spec.seed ^ 0x73796eULL;
+  executor_options.registry = &global;
+  auto executor =
+      Unwrap(sync::SyncExecutor::Create(&faulty, executor_options));
+
+  obs::StalenessTimeline::Options timeline_options;
+  timeline_options.window_end = static_cast<double>(periods);
+  timeline_options.age_slo = GetDouble(flags, "--age-slo", 0.25);
+  timeline_options.top_k =
+      static_cast<size_t>(GetDouble(flags, "--top-k", 10));
+  obs::StalenessTimeline timeline = Unwrap(obs::StalenessTimeline::Create(
+      AccessProbs(truth), timeline_options));
+
+  OnlineFreshenLoop::Options loop_options;
+  loop_options.accesses_per_period =
+      GetDouble(flags, "--accesses", quick ? 200.0 : 1000.0);
+  loop_options.seed = spec.seed ^ 0x6f6c6fULL;
+  loop_options.registry = &global;
+  loop_options.executor = executor.get();
+  loop_options.timeline = &timeline;
+  auto loop = Unwrap(OnlineFreshenLoop::Create(truth, bandwidth,
+                                               loop_options));
+
+  std::printf("objects    : %zu\n", truth.size());
+  std::printf("bandwidth  : %.6g per period\n", bandwidth);
+  std::printf("periods    : %d\n", periods);
+  for (int period = 0; period < periods; ++period) {
+    loop.RunPeriod();
+  }
+
+  const obs::TimelineReport report = timeline.Finalize();
+  PrintTimelineSummary(report);
+  const std::string timeline_out = GetFlag(flags, "--timeline-out", "");
+  if (!timeline_out.empty()) WriteTimelineReport(report, timeline_out);
+
+  const obs::EventRecorder::Stats stats =
+      obs::EventRecorder::Global().stats();
+  std::printf("recorder   : emitted=%llu recorded=%llu dropped=%llu "
+              "threads=%zu capacity=%zu\n",
+              (unsigned long long)stats.emitted,
+              (unsigned long long)stats.recorded,
+              (unsigned long long)stats.dropped, stats.rings,
+              stats.ring_capacity);
+  return 0;
 }
 
 }  // namespace
@@ -428,13 +655,18 @@ int RunSyncDrill(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: freshenctl <gen|plan|eval|metrics|sync-drill>"
+                 "usage: freshenctl <gen|plan|eval|metrics|sync-drill|trace>"
                  " [--flags]\n"
                  "see the header of examples/freshenctl.cc for details\n");
     return 2;
   }
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv, 2);
+  // The flight recorder is on whenever this run can dump a trace: the trace
+  // command always writes one, any other command only with --trace-out.
+  if (command == "trace" || flags.count("--trace-out") > 0) {
+    obs::EventRecorder::Global().set_enabled(true);
+  }
   int rc = 2;
   if (command == "gen") {
     rc = RunGen(flags);
@@ -446,9 +678,29 @@ int main(int argc, char** argv) {
     rc = RunMetrics(flags);
   } else if (command == "sync-drill") {
     rc = RunSyncDrill(flags);
+  } else if (command == "trace") {
+    rc = RunTrace(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
+  }
+  if (obs::EventRecorder::Global().enabled()) {
+    // Publish recorder accounting before the metrics dump so the
+    // freshen_obs_recorder_* gauges land in --metrics-out snapshots.
+    obs::EventRecorder::Global().ExportMetrics(
+        obs::MetricsRegistry::Global());
+    const std::string trace_out =
+        GetFlag(flags, "--trace-out",
+                command == "trace" ? "freshen_trace.json" : "");
+    if (!trace_out.empty()) {
+      const std::vector<obs::Event> events =
+          obs::EventRecorder::Global().Collect();
+      const Status status =
+          WriteStringToFile(obs::FormatChromeTrace(events), trace_out);
+      if (!status.ok()) Die(status);
+      std::printf("trace written    : %s (%zu events)\n", trace_out.c_str(),
+                  events.size());
+    }
   }
   MaybeDumpMetrics(flags, /*to_stdout_by_default=*/command == "metrics");
   return rc;

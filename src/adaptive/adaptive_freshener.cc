@@ -5,6 +5,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace freshen {
@@ -121,6 +122,20 @@ Result<bool> AdaptiveFreshener::MaybeReplan(double now, bool force) {
   ++num_replans_;
   replans_counter_->Increment();
   replan_latency_->Record(timer.ElapsedSeconds());
+  {
+    obs::EventRecorder& recorder = obs::EventRecorder::Global();
+    if (recorder.enabled()) {
+      obs::Event event;
+      event.name = "replan";
+      event.category = "adaptive";
+      event.clock = obs::EventClock::kVirtual;
+      event.track = obs::kTrackOnlineLoop;
+      event.ts = now;
+      event.arg0 = static_cast<double>(num_replans_);
+      event.arg0_name = "replans";
+      recorder.Emit(event);
+    }
+  }
   return true;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/recorder.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "profile/profile.h"
 #include "rng/distributions.h"
@@ -18,6 +20,23 @@ struct LoopEvent {
   bool is_sync;  // Syncs sort before accesses at equal times.
   uint32_t element;
 };
+
+// Period-boundary span events on the online-loop virtual track. The loop is
+// single-threaded and seed-deterministic, so these are too.
+void EmitPeriodEvent(obs::EventRecorder& recorder, obs::EventPhase phase,
+                     double ts, double period_index) {
+  if (!recorder.enabled()) return;
+  obs::Event event;
+  event.name = "period";
+  event.category = "loop";
+  event.clock = obs::EventClock::kVirtual;
+  event.track = obs::kTrackOnlineLoop;
+  event.phase = phase;
+  event.ts = ts;
+  event.arg0 = period_index;
+  event.arg0_name = "period";
+  recorder.Emit(event);
+}
 
 }  // namespace
 
@@ -95,6 +114,10 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   const double bandwidth_mark = bandwidth_counter_->value();
   const double period_start = now_;
   const double period_end = now_ + 1.0;
+  obs::EventRecorder& recorder = obs::EventRecorder::Global();
+  EmitPeriodEvent(recorder, obs::EventPhase::kBegin, period_start,
+                  period_start);
+  obs::StalenessTimeline* const timeline = options_.timeline;
   PeriodStats stats;
   std::vector<LoopEvent> events;
 
@@ -171,6 +194,17 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   KahanSum age_sum;
   for (const LoopEvent& event : events) {
     if (event.is_sync) {
+      if (timeline != nullptr) {
+        // Attribute the stale interval this sync is about to close: the
+        // onset is now minus the copy's age (the first unpicked update).
+        source_.AdvanceTo(event.time);
+        if (!mirror_.IsFresh(event.element, source_)) {
+          const double age =
+              mirror_.Age(event.element, event.time, source_);
+          timeline->MarkStale(event.element, event.time - age);
+          timeline->MarkFresh(event.element, event.time);
+        }
+      }
       const bool changed = mirror_.Sync(event.element, event.time, source_);
       controller_->ObserveSync(event.element, changed, event.time);
       syncs_counter_->Increment();
@@ -181,12 +215,31 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
       accesses_counter_->Increment();
       if (mirror_.IsFresh(event.element, source_)) {
         fresh_accesses_counter_->Increment();
+        if (timeline != nullptr) {
+          timeline->OnAccess(event.element, event.time, 0.0);
+        }
       } else {
-        age_sum.Add(mirror_.Age(event.element, event.time, source_));
+        const double age = mirror_.Age(event.element, event.time, source_);
+        age_sum.Add(age);
+        if (timeline != nullptr) {
+          timeline->OnAccess(event.element, event.time, age);
+        }
       }
     }
   }
   source_.AdvanceTo(period_end);
+  if (timeline != nullptr) {
+    // Open a ledger interval for everything still stale at the boundary
+    // (MarkStale is idempotent, so already-open intervals are untouched),
+    // then close this period's attribution window.
+    for (size_t i = 0; i < truth_.size(); ++i) {
+      if (!mirror_.IsFresh(i, source_)) {
+        timeline->MarkStale(
+            i, period_end - mirror_.Age(i, period_end, source_));
+      }
+    }
+    timeline->CloseWindow(period_end);
+  }
   now_ = period_end;
   periods_counter_->Increment();
 
@@ -224,6 +277,7 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   if (rated > 0) {
     lambda_error_gauge_->Set(error_sum.Total() / static_cast<double>(rated));
   }
+  EmitPeriodEvent(recorder, obs::EventPhase::kEnd, period_end, period_start);
   return stats;
 }
 

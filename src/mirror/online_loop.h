@@ -29,6 +29,9 @@
 #include "sync/executor.h"
 
 namespace freshen {
+namespace obs {
+class StalenessTimeline;
+}  // namespace obs
 
 /// One period's observable outcomes. The event counts (accesses, syncs,
 /// bandwidth_spent) are per-period deltas of the loop's registry counters
@@ -80,6 +83,12 @@ class OnlineFreshenLoop {
     /// the loop. With a sync::PerfectSource behind it, per-period results
     /// are bit-identical to the inline path on the same seed.
     sync::SyncExecutor* executor = nullptr;
+    /// Optional staleness-attribution ledger. When set, every period feeds
+    /// it the mirror's fresh<->stale transitions and accesses, and closes
+    /// one ledger window per period at the boundary (per-period offender
+    /// rankings). Its window should start at 0 and end at/after the last
+    /// period the caller will run. Non-owning; must outlive the loop.
+    obs::StalenessTimeline* timeline = nullptr;
   };
 
   /// `truth` holds the real change rates, real profile, and sizes; only the

@@ -20,6 +20,51 @@ std::string FormatMetricValue(double value) {
   return StrFormat("%.9g", value);
 }
 
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(labels[i].first) + "\":\"" +
+           JsonEscape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// name{k="v",...} — the Prometheus series suffix; `extra` appends a label
+// (used for the histogram le edge).
+std::string PromSeries(const std::string& name, const Labels& labels,
+                       const std::string& extra = "") {
+  std::string out = name;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + PromEscapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+// One comma-separated k=v string for the CSV labels column; values are
+// quoted/escaped so embedded commas or quotes cannot split a pair.
+std::string CsvLabels(const Labels& labels) {
+  std::vector<std::string> parts;
+  parts.reserve(labels.size());
+  for (const auto& [key, value] : labels) {
+    parts.push_back(key + "=" + CsvLabelEscape(value));
+  }
+  return Join(parts, ",");
+}
+
+}  // namespace
+
 std::string JsonEscape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -48,49 +93,41 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
-std::string JsonLabels(const Labels& labels) {
-  std::string out = "{";
-  for (size_t i = 0; i < labels.size(); ++i) {
-    if (i > 0) out += ",";
-    out += "\"" + JsonEscape(labels[i].first) + "\":\"" +
-           JsonEscape(labels[i].second) + "\"";
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        // Everything else (including \t and \r) passes through raw — the
+        // exposition format defines no escapes for them.
+        out += c;
+    }
   }
-  out += "}";
   return out;
 }
 
-// name{k="v",...} — the Prometheus series suffix; `extra` appends a label
-// (used for the histogram le edge).
-std::string PromSeries(const std::string& name, const Labels& labels,
-                       const std::string& extra = "") {
-  std::string out = name;
-  if (labels.empty() && extra.empty()) return out;
-  out += '{';
-  bool first = true;
-  for (const auto& [key, value] : labels) {
-    if (!first) out += ',';
-    first = false;
-    out += key + "=\"" + JsonEscape(value) + "\"";
+std::string CsvLabelEscape(const std::string& value) {
+  const bool needs_quoting =
+      value.find_first_of(",\"=\\\n") != std::string::npos;
+  if (!needs_quoting) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
   }
-  if (!extra.empty()) {
-    if (!first) out += ',';
-    out += extra;
-  }
-  out += '}';
+  out += '"';
   return out;
 }
-
-// One comma-separated k=v string for the CSV labels column.
-std::string CsvLabels(const Labels& labels) {
-  std::vector<std::string> parts;
-  parts.reserve(labels.size());
-  for (const auto& [key, value] : labels) {
-    parts.push_back(key + "=" + value);
-  }
-  return Join(parts, ",");
-}
-
-}  // namespace
 
 std::string FormatJson(const RegistrySnapshot& snapshot) {
   std::string out = "{\"metrics\":[";

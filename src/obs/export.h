@@ -14,6 +14,22 @@
 namespace freshen {
 namespace obs {
 
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string JsonEscape(const std::string& text);
+
+/// Escapes a Prometheus label value for the text exposition format. Only
+/// three escapes are legal there: backslash, double quote, and line feed
+/// (notably NOT \t or \r, which a JSON escaper would produce and a
+/// Prometheus parser would reject).
+std::string PromEscapeLabelValue(const std::string& value);
+
+/// Escapes one label value for the CSV labels cell: values containing
+/// `,` `"` `=` `\` or a newline are double-quoted with `\"` / `\\`
+/// escapes, so the comma-joined k=v list stays parseable even when values
+/// contain the separators.
+std::string CsvLabelEscape(const std::string& value);
+
 /// Formats the snapshot as a JSON document: {"metrics": [...]} with one
 /// object per series (name, type, labels, value or count/sum/buckets).
 /// Deterministic: series keep the snapshot's name-ordering.

@@ -1,0 +1,127 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+
+namespace freshen {
+namespace obs {
+namespace {
+
+// Process-unique recorder ids so the thread-local ring cache can never
+// confuse a destroyed recorder with a new one at the same address.
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+// One cached (recorder id -> ring) binding. Threads emit into a handful of
+// recorders at most (the global one plus test instances), so a tiny linear
+// scan beats any map.
+struct RingBinding {
+  uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+
+thread_local std::vector<RingBinding> t_ring_cache;
+
+size_t RoundUpPowerOfTwo(size_t value) {
+  size_t pow2 = 1;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+const char* EventPhaseName(EventPhase phase) {
+  switch (phase) {
+    case EventPhase::kBegin:
+      return "B";
+    case EventPhase::kEnd:
+      return "E";
+    case EventPhase::kInstant:
+      return "i";
+  }
+  return "?";
+}
+
+EventRecorder::EventRecorder(Options options)
+    : capacity_(RoundUpPowerOfTwo(std::max<size_t>(options.ring_capacity, 1))),
+      id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EventRecorder& EventRecorder::Global() {
+  static EventRecorder* recorder = new EventRecorder();
+  return *recorder;
+}
+
+EventRecorder::Ring* EventRecorder::RingForThisThread() {
+  for (const RingBinding& binding : t_ring_cache) {
+    if (binding.recorder_id == id_) return static_cast<Ring*>(binding.ring);
+  }
+  // First emit from this thread into this recorder: register a ring (the
+  // only lock and the only allocations on the emit path, once per thread).
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>(capacity_, rings_.size() + 1));
+  Ring* ring = rings_.back().get();
+  t_ring_cache.push_back({id_, ring});
+  return ring;
+}
+
+void EventRecorder::Emit(const Event& event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = RingForThisThread();
+  const uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Event& slot = ring->slots[head & (capacity_ - 1)];
+  slot = event;
+  if (event.clock == EventClock::kWall) slot.track = ring->tid;
+  // Publish after the slot write so a collector that honors the
+  // quiesce-first contract always reads fully written events.
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+EventRecorder::Stats EventRecorder::stats() const {
+  Stats stats;
+  stats.ring_capacity = capacity_;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.rings = rings_.size();
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t kept = std::min<uint64_t>(head, capacity_);
+    stats.emitted += head;
+    stats.recorded += kept;
+    stats.dropped += head - kept;
+  }
+  return stats;
+}
+
+std::vector<Event> EventRecorder::Collect() const {
+  std::vector<Event> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t kept = std::min<uint64_t>(head, capacity_);
+    for (uint64_t i = head - kept; i < head; ++i) {
+      events.push_back(ring->slots[i & (capacity_ - 1)]);
+    }
+  }
+  return events;
+}
+
+void EventRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+void EventRecorder::ExportMetrics(MetricsRegistry& registry) const {
+  const Stats stats = this->stats();
+  registry.GetGauge("freshen_obs_recorder_ring_capacity")
+      ->Set(static_cast<double>(stats.ring_capacity));
+  registry.GetGauge("freshen_obs_recorder_rings")
+      ->Set(static_cast<double>(stats.rings));
+  registry.GetGauge("freshen_obs_recorder_emitted_events")
+      ->Set(static_cast<double>(stats.emitted));
+  registry.GetGauge("freshen_obs_recorder_recorded_events")
+      ->Set(static_cast<double>(stats.recorded));
+  registry.GetGauge("freshen_obs_recorder_dropped_events")
+      ->Set(static_cast<double>(stats.dropped));
+}
+
+}  // namespace obs
+}  // namespace freshen

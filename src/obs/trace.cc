@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/recorder.h"
+
 namespace freshen {
 namespace obs {
 namespace {
@@ -7,23 +9,45 @@ namespace {
 // Innermost open span on this thread; ScopedSpan links form the stack.
 thread_local ScopedSpan* t_current_span = nullptr;
 
+// Begin/End events for the flight recorder. The span name must be a
+// literal (the Event keeps the pointer); depth lets trace viewers sanity
+// check nesting without re-deriving it.
+void EmitSpanEvent(const char* name, EventPhase phase, int depth) {
+  EventRecorder& recorder = EventRecorder::Global();
+  if (!recorder.enabled()) return;
+  Event event;
+  event.name = name;
+  event.category = "span";
+  event.phase = phase;
+  event.clock = EventClock::kWall;
+  event.ts = RecorderNowSeconds();
+  event.arg0 = static_cast<double>(depth);
+  event.arg0_name = "depth";
+  recorder.Emit(event);
+}
+
 }  // namespace
 
 ScopedSpan::ScopedSpan(const char* name, MetricsRegistry& registry)
-    : registry_(registry), parent_(t_current_span) {
+    : registry_(registry), parent_(t_current_span), name_(name) {
   if (parent_ != nullptr) {
     path_.reserve(parent_->path_.size() + 1 + std::char_traits<char>::length(name));
     path_ = parent_->path_;
     path_ += '/';
     path_ += name;
+    depth_ = parent_->depth_ + 1;
   } else {
     path_ = name;
   }
   t_current_span = this;
+  EmitSpanEvent(name_, EventPhase::kBegin, depth_);
 }
 
 ScopedSpan::~ScopedSpan() {
   t_current_span = parent_;
+  // The recorder event is independent of the metrics kill switch — the
+  // flight recorder has its own enabled bit.
+  EmitSpanEvent(name_, EventPhase::kEnd, depth_);
   if (!registry_.enabled()) return;
   registry_
       .GetHistogram(kSpanHistogramName, LatencySecondsBuckets(),

@@ -55,6 +55,8 @@ class ScopedSpan {
   std::string path_;
   WallTimer timer_;
   ScopedSpan* parent_;  // Enclosing span on this thread, or nullptr.
+  const char* name_;    // Literal; reused for the recorder End event.
+  int depth_ = 0;       // Nesting depth on this thread (root = 0).
 };
 
 /// The calling thread's innermost open span path ("" when none) — lets tests

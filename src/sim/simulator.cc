@@ -8,6 +8,8 @@
 #include "common/timer.h"
 #include "model/metrics.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "rng/alias_table.h"
 #include "rng/distributions.h"
@@ -151,8 +153,14 @@ Result<SimulationResult> MirrorSimulator::Run(
 
   // Each shard owns its elements outright: their sync timeline, update
   // streams, mirror state, and the accesses routed above. Statistics land
-  // in the shard's own slot; nothing is shared across shards.
+  // in the shard's own slot; nothing is shared across shards. Per-element
+  // post-warmup stale time lands in `stale_time` (each shard writes only
+  // its own slice) — the attribution ledger and the measured weighted
+  // freshness below are both built from it.
   std::vector<ShardStats> stats(plan.size());
+  std::vector<double> stale_time(n, 0.0);
+  obs::StalenessTimeline* const timeline = config_.timeline;
+  obs::EventRecorder& recorder = obs::EventRecorder::Global();
   exec.ForShards(plan, [&](const par::Shard& shard) {
     std::vector<SimEvent> events = std::move(shard_accesses[shard.index]);
     const size_t shard_access_count = events.size();
@@ -193,6 +201,24 @@ Result<SimulationResult> MirrorSimulator::Run(
               });
     out.total_events = events.size();
 
+    // Shard milestone span on the shard's own virtual track — content is a
+    // pure function of (catalog, seed, shard plan), so the merged virtual
+    // dump is identical at any thread count.
+    if (recorder.enabled()) {
+      obs::Event milestone;
+      milestone.name = "sim_shard";
+      milestone.category = "sim";
+      milestone.clock = obs::EventClock::kVirtual;
+      milestone.track = obs::kTrackSimShardBase + shard.index;
+      milestone.phase = obs::EventPhase::kBegin;
+      milestone.ts = 0.0;
+      milestone.arg0 = static_cast<double>(shard.size());
+      milestone.arg0_name = "elements";
+      milestone.arg1 = static_cast<double>(events.size());
+      milestone.arg1_name = "events";
+      recorder.Emit(milestone);
+    }
+
     // Mirror state for this shard's elements (indexed relative to begin):
     // every copy starts in sync with the source.
     const size_t width = shard.size();
@@ -220,6 +246,9 @@ Result<SimulationResult> MirrorSimulator::Run(
             fresh[local] = 0;
             stale_since[local] = event.time;
             --fresh_count;
+            if (timeline != nullptr) {
+              timeline->MarkStale(event.element, event.time);
+            }
           }
           break;
         case EventType::kSync:
@@ -227,6 +256,15 @@ Result<SimulationResult> MirrorSimulator::Run(
           if (!fresh[local]) {
             fresh[local] = 1;
             ++fresh_count;
+            // Same clamp arithmetic as StalenessTimeline::ClampedInterval
+            // over [warmup, horizon], so the two ledgers agree per element
+            // to the bit.
+            stale_time[event.element] +=
+                std::max(0.0, std::min(event.time, horizon) -
+                                  std::max(stale_since[local], warmup));
+            if (timeline != nullptr) {
+              timeline->MarkFresh(event.element, event.time);
+            }
           }
           break;
         case EventType::kAccess:
@@ -235,8 +273,15 @@ Result<SimulationResult> MirrorSimulator::Run(
           if (fresh[local]) {
             ++out.fresh_accesses;
             age_sum.Add(0.0);
+            if (timeline != nullptr) {
+              timeline->OnAccess(event.element, event.time, 0.0);
+            }
           } else {
             age_sum.Add(event.time - stale_since[local]);
+            if (timeline != nullptr) {
+              timeline->OnAccess(event.element, event.time,
+                                 event.time - stale_since[local]);
+            }
           }
           break;
       }
@@ -246,6 +291,29 @@ Result<SimulationResult> MirrorSimulator::Run(
                            (horizon - prev_time));
     out.freshness_integral = freshness_integral.Total();
     out.age_sum = age_sum.Total();
+    // Charge still-open stale intervals up to the horizon (the timeline does
+    // the same at Finalize, with the same arithmetic).
+    for (size_t i = shard.begin; i < shard.end; ++i) {
+      const size_t local = i - shard.begin;
+      if (!fresh[local]) {
+        stale_time[i] +=
+            std::max(0.0, horizon - std::max(stale_since[local], warmup));
+      }
+    }
+    if (recorder.enabled()) {
+      obs::Event milestone;
+      milestone.name = "sim_shard";
+      milestone.category = "sim";
+      milestone.clock = obs::EventClock::kVirtual;
+      milestone.track = obs::kTrackSimShardBase + shard.index;
+      milestone.phase = obs::EventPhase::kEnd;
+      milestone.ts = horizon;
+      milestone.arg0 = static_cast<double>(shard.size());
+      milestone.arg0_name = "elements";
+      milestone.arg1 = static_cast<double>(out.total_events);
+      milestone.arg1_name = "events";
+      recorder.Emit(milestone);
+    }
   });
 
   // Merge in shard-index order: integer counts are exact in any order; the
@@ -286,6 +354,26 @@ Result<SimulationResult> MirrorSimulator::Run(
       PerceivedFreshness(elements_, frequencies, config_.sync_policy);
   result.analytic_general_freshness =
       GeneralFreshness(elements_, frequencies, config_.sync_policy);
+
+  // Weighted time-in-fresh over [warmup, horizon]: the same per-element
+  // stale_time the timeline accumulates, normalized weights, summed with the
+  // timeline's index-order Kahan tree — thread-count invariant and within
+  // float rounding of a timeline fed by this run.
+  if (prob_total > 0.0) {
+    const double span = horizon - warmup;
+    double sum = 0.0;
+    double comp = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double w = probs[i] / prob_total;
+      const double stale = std::min(std::max(stale_time[i], 0.0), span);
+      const double term = w * (1.0 - stale / span);
+      const double y = term - comp;
+      const double t = sum + y;
+      comp = (t - sum) - y;
+      sum = t;
+    }
+    result.measured_weighted_freshness = sum;
+  }
 
   // Whole-horizon event counts (the post-warmup subset is in `result`).
   const SimMetrics& metrics = GetSimMetrics();

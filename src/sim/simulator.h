@@ -19,6 +19,9 @@
 #include "model/freshness.h"
 
 namespace freshen {
+namespace obs {
+class StalenessTimeline;
+}  // namespace obs
 
 /// Simulation knobs.
 struct SimulationConfig {
@@ -42,6 +45,12 @@ struct SimulationConfig {
   /// merged in shard order, so the SimulationResult is bit-identical at
   /// every thread count (see common/parallel.h).
   size_t threads = 0;
+  /// Optional staleness-attribution ledger. When set, each shard feeds its
+  /// elements' fresh<->stale transitions and accesses into it (disjoint
+  /// elements per shard, so concurrent feeding is race-free). The ledger's
+  /// window should be [warmup_periods, horizon_periods]; its weighted
+  /// freshness then reproduces measured_weighted_freshness below. Not owned.
+  obs::StalenessTimeline* timeline = nullptr;
 };
 
 /// Metrics from one simulation run.
@@ -57,6 +66,12 @@ struct SimulationResult {
   double analytic_perceived_freshness = 0.0;
   /// Closed-form general freshness of the same schedule.
   double analytic_general_freshness = 0.0;
+  /// Time-averaged perceived freshness measured from per-element
+  /// time-in-fresh: sum over i of p_i * (1 - stale_time_i / (horizon -
+  /// warmup)) with p_i the normalized access probabilities. Uses the exact
+  /// interval arithmetic the staleness timeline uses, so a timeline fed by
+  /// this run agrees to float-rounding (the timeline_test 1e-9 contract).
+  double measured_weighted_freshness = 0.0;
   /// Post-warmup event counts.
   uint64_t num_accesses = 0;
   uint64_t num_updates = 0;

@@ -7,10 +7,48 @@
 #include <queue>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace freshen {
 namespace sync {
+namespace {
+
+// Flight-recorder instants for the commit replay. All events are virtual
+// time (period units) on the sync-commit track; phase 2 runs on one thread
+// and its trace depends only on (seed, tasks), so the recorded stream is
+// deterministic at any pool size.
+void EmitSyncEvent(obs::EventRecorder& recorder, const char* name,
+                   double ts_periods, double element, double arg1,
+                   const char* arg1_name) {
+  if (!recorder.enabled()) return;
+  obs::Event event;
+  event.name = name;
+  event.category = "sync";
+  event.clock = obs::EventClock::kVirtual;
+  event.track = obs::kTrackSyncCommit;
+  event.ts = ts_periods;
+  event.arg0 = element;
+  event.arg0_name = "element";
+  event.arg1 = arg1;
+  event.arg1_name = arg1_name;
+  event.phase = obs::EventPhase::kInstant;
+  recorder.Emit(event);
+}
+
+const char* BreakerEventName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kOpen:
+      return "breaker_open";
+    case BreakerState::kHalfOpen:
+      return "breaker_half_open";
+    case BreakerState::kClosed:
+      return "breaker_closed";
+  }
+  return "breaker_unknown";
+}
+
+}  // namespace
 
 const char* SyncOutcomeKindName(SyncOutcomeKind kind) {
   switch (kind) {
@@ -160,28 +198,47 @@ std::vector<SyncOutcome> SyncExecutor::Execute(
     }
   };
 
+  obs::EventRecorder& recorder = obs::EventRecorder::Global();
+  BreakerState last_breaker_state = breaker_.state();
+  // Emits one instant whenever the breaker's state moved since the last
+  // check; ts is the virtual time the transition became observable.
+  const auto note_breaker = [&](double ts_periods) {
+    const BreakerState state = breaker_.state();
+    if (state == last_breaker_state) return;
+    last_breaker_state = state;
+    EmitSyncEvent(recorder, BreakerEventName(state), ts_periods, -1.0, 0.0,
+                  nullptr);
+  };
+
   std::vector<SyncOutcome> outcomes;
   outcomes.reserve(plans.size());
   for (const TaskPlan& plan : plans) {
     SyncOutcome outcome;
     outcome.element = plan.task.element;
     outcome.scheduled_time = plan.task.time;
+    const double element = static_cast<double>(plan.task.element);
     if (plan.dropped) {
       outcome.kind = SyncOutcomeKind::kDropped;
       ++last_stats_.dropped;
       dropped_counter_->Increment();
+      EmitSyncEvent(recorder, "sync_dropped", plan.task.time, element, 0.0,
+                    nullptr);
       outcomes.push_back(outcome);
       continue;
     }
     const double scheduled_seconds = plan.task.time * options_.period_seconds;
     settle_until(scheduled_seconds);
+    note_breaker(plan.task.time);
     if (!breaker_.AllowRequest(scheduled_seconds)) {
       outcome.kind = SyncOutcomeKind::kBreakerOpen;
       ++last_stats_.breaker_open;
       breaker_skipped_counter_->Increment();
+      EmitSyncEvent(recorder, "sync_breaker_skip", plan.task.time, element,
+                    0.0, nullptr);
       outcomes.push_back(outcome);
       continue;
     }
+    note_breaker(plan.task.time);
     double now_seconds = scheduled_seconds;
     double backoff = 0.0;
     bool success = false;
@@ -193,12 +250,23 @@ std::vector<SyncOutcome> SyncExecutor::Execute(
       if (attempt > 0) {
         ++last_stats_.retries;
         retries_counter_->Increment();
+        EmitSyncEvent(recorder, "sync_retry",
+                      now_seconds / options_.period_seconds, element,
+                      static_cast<double>(attempt), "attempt");
       }
+      EmitSyncEvent(recorder, "sync_attempt",
+                    now_seconds / options_.period_seconds, element,
+                    static_cast<double>(attempt), "attempt");
       fetch_latency_histogram_->Record(record.latency_seconds);
       now_seconds += record.latency_seconds;
       if (record.ok) {
         success = true;
         break;
+      }
+      if (record.timed_out) {
+        EmitSyncEvent(recorder, "sync_timeout",
+                      now_seconds / options_.period_seconds, element,
+                      static_cast<double>(attempt), "attempt");
       }
       outcome.wasted_bandwidth += plan.task.size;
       wasted_bandwidth_counter_->Add(plan.task.size);
@@ -208,6 +276,7 @@ std::vector<SyncOutcome> SyncExecutor::Execute(
       }
     }
     last_stats_.wasted_bandwidth += outcome.wasted_bandwidth;
+    const double finish_periods = now_seconds / options_.period_seconds;
     if (success) {
       outcome.kind = SyncOutcomeKind::kApplied;
       // Scheduled time plus transport elapsed, converted back to periods.
@@ -218,15 +287,22 @@ std::vector<SyncOutcome> SyncExecutor::Execute(
           (now_seconds - scheduled_seconds) / options_.period_seconds;
       ++last_stats_.applied;
       applied_counter_->Increment();
+      EmitSyncEvent(recorder, "sync_applied", finish_periods, element,
+                    static_cast<double>(outcome.attempts), "attempts");
     } else {
       outcome.kind = SyncOutcomeKind::kFailed;
       ++last_stats_.failed;
       failures_counter_->Increment();
+      EmitSyncEvent(recorder, "sync_failed", finish_periods, element,
+                    static_cast<double>(outcome.attempts), "attempts");
     }
     completions.emplace(now_seconds, success);
     outcomes.push_back(outcome);
   }
   settle_until(std::numeric_limits<double>::infinity());
+  if (!plans.empty()) {
+    note_breaker(plans.back().task.time);
+  }
 
   const uint64_t opens = breaker_.open_transitions();
   breaker_opens_counter_->Add(static_cast<double>(opens - breaker_opens_seen_));

@@ -323,5 +323,100 @@ TEST(ObsIntegrationTest, OnlineLoopRunExportsOperationalMetrics) {
   EXPECT_FALSE(obs::FormatCsv(snapshot).empty());
 }
 
+// Regression: label values containing the k=v list's own separators (commas,
+// quotes, equals) used to corrupt the CSV labels column. They must now be
+// quoted/escaped, and TableWriter must still parse the whole row as one cell
+// per column.
+TEST(ExportTest, CsvLabelsSurviveSeparatorsInValues) {
+  EXPECT_EQ(obs::CsvLabelEscape("plain"), "plain");
+  EXPECT_EQ(obs::CsvLabelEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(obs::CsvLabelEscape("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(obs::CsvLabelEscape("k=v"), "\"k=v\"");
+  EXPECT_EQ(obs::CsvLabelEscape("back\\slash"), "\"back\\\\slash\"");
+
+  MetricsRegistry registry;
+  registry.GetCounter("freshen_escape_total",
+                      {{"source", "mirror,eu-west\"1\""}})
+      ->Increment();
+  const std::string csv = obs::FormatCsv(registry.Snapshot());
+  // The labels cell is itself RFC-4180 quoted by TableWriter (it contains a
+  // comma and quotes); after unquoting it must read as one k=v pair whose
+  // value is the escaped original.
+  EXPECT_NE(csv.find("source=\"\"mirror,eu-west\\\"\"1\\\"\"\"\""),
+            std::string::npos)
+      << csv;
+  // The data row must still have exactly 6 columns: the embedded comma sits
+  // inside a quoted cell, so exactly one extra comma shows up relative to a
+  // plain-label row.
+  const size_t header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string row = csv.substr(header_end + 1);
+  size_t commas = 0;
+  bool in_quotes = false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == '"') in_quotes = !in_quotes;
+    if (row[i] == ',' && !in_quotes) ++commas;
+  }
+  EXPECT_EQ(commas, 5u) << row;
+}
+
+// Un-escapes a Prometheus label value per the exposition format (the only
+// escapes are \\, \", and \n).
+std::string PromUnescapeLabelValue(const std::string& value) {
+  std::string out;
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '\\' && i + 1 < value.size()) {
+      const char next = value[i + 1];
+      if (next == '\\') {
+        out += '\\';
+        ++i;
+        continue;
+      }
+      if (next == '"') {
+        out += '"';
+        ++i;
+        continue;
+      }
+      if (next == 'n') {
+        out += '\n';
+        ++i;
+        continue;
+      }
+    }
+    out += value[i];
+  }
+  return out;
+}
+
+TEST(ExportTest, PromLabelEscapeRoundTrips) {
+  const std::string cases[] = {
+      "plain",
+      "back\\slash",
+      "say \"hi\"",
+      "two\nlines",
+      "tab\tand\rcr stay raw",
+      "all: \\ \" \n together",
+  };
+  for (const std::string& original : cases) {
+    const std::string escaped = obs::PromEscapeLabelValue(original);
+    // The escaped form must never contain a raw newline (it would split the
+    // series line) and must never use JSON-only escapes like \t.
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << original;
+    EXPECT_EQ(escaped.find("\\t"), std::string::npos) << original;
+    EXPECT_EQ(PromUnescapeLabelValue(escaped), original);
+  }
+}
+
+// The Prometheus exporter must use the Prometheus escaper, not the JSON one:
+// a tab in a label value passes through raw instead of becoming \t.
+TEST(ExportTest, PrometheusSeriesUseExpositionEscapes) {
+  MetricsRegistry registry;
+  registry.GetGauge("freshen_escape_gauge", {{"path", "a\tb\nc\"d\\e"}})
+      ->Set(1.0);
+  const std::string prom = obs::FormatPrometheus(registry.Snapshot());
+  EXPECT_NE(prom.find("path=\"a\tb\\nc\\\"d\\\\e\""), std::string::npos)
+      << prom;
+}
+
 }  // namespace
 }  // namespace freshen
