@@ -10,14 +10,33 @@
 // converge inside it, the row is marked (budget), echoing the paper's
 // observation.
 //
-// Part 2 sweeps the freshen::par thread knob over the KKT solver and the
-// sharded simulator at catalog scale (N up to 2M), asserting the
-// determinism contract as it goes: every thread count must produce a
-// byte-identical allocation / SimulationResult. All rows are also written
-// to BENCH_solver_scaling.json so future PRs have a perf trajectory
-// baseline.
+// Part 2 benchmarks the scan-breakpoint KKT solver at catalog scale
+// (N up to 10M) over the freshen::par thread knob. Methodology, learned
+// the hard way from this bench's own earlier pathologies:
+//   * one UNTIMED warm-up solve per problem before any timed run (the old
+//     bench charged first-touch page faults and pool spin-up to the
+//     1-thread row, inflating every speedup);
+//   * the problem instance is built once and PINNED across all thread
+//     counts and both search modes (no per-row regeneration);
+//   * every (n, threads, mode) cell reports the MEDIAN of 3 solves (the
+//     old single-shot numbers swung 2x run-to-run under CPU contention).
+// Hard gates, enforced by exit code (the quick-mode run is wired into
+// ctest as bench_solver_scaling_smoke):
+//   * every thread count must reproduce the 1-thread allocation bits;
+//   * the scan-breakpoint mode must reproduce the bisection-oracle
+//     allocation byte-for-byte;
+//   * with >= 8 hardware threads, the 8-thread solve must be >= 2x the
+//     1-thread solve. On narrower machines the gate cannot be meaningful
+//     (oversubscribed "threads" share cores and measure scheduler noise,
+//     which is exactly how the old bench produced 0.99x-at-4-threads
+//     rows), so it is skipped with an explicit note.
+// All rows land in BENCH_solver_scaling.json with the machine's hardware
+// concurrency recorded, so the perf trajectory across PRs stays honest.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -29,6 +48,7 @@
 #include "model/metrics.h"
 #include "opt/generic_nlp.h"
 #include "opt/problem.h"
+#include "opt/scan_breakpoint.h"
 #include "opt/water_filling.h"
 #include "sim/simulator.h"
 
@@ -38,11 +58,13 @@ using namespace freshen;
 
 struct ScalingRow {
   std::string component;  // "kkt_solver" | "simulator".
+  std::string mode;       // "scan" | "oracle" | "-".
   size_t n = 0;
   size_t threads = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;       // Median of 3.
   double speedup_vs_1t = 0.0;
-  bool bit_identical = true;  // vs the 1-thread run of the same workload.
+  bool bit_identical = true;      // vs the 1-thread run, same mode.
+  bool oracle_byte_match = true;  // scan allocation vs oracle allocation.
 };
 
 bool SameBits(double a, double b) {
@@ -75,24 +97,62 @@ bool SameResult(const SimulationResult& a, const SimulationResult& b) {
          a.num_syncs == b.num_syncs;
 }
 
+// Zipf-flavored synthetic instance built directly as a CoreProblem: the
+// 10M row would spend longer materializing an ElementSet catalog than
+// solving, and Part 2 only needs the solver inputs.
+CoreProblem SyntheticProblem(size_t n) {
+  std::mt19937_64 rng(0x5CA1AB1Eu + n);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  CoreProblem problem;
+  problem.weights.resize(n);
+  problem.change_rates.resize(n);
+  problem.costs.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    // Heavy-tailed weights, log-uniform change rates over 4 decades.
+    problem.weights[i] = 1.0 / std::pow(1.0 + u(rng) * 999.0, 0.8);
+    problem.change_rates[i] = std::exp2(-6.0 + 12.0 * u(rng));
+  }
+  problem.bandwidth = 0.5 * static_cast<double>(n);
+  return problem;
+}
+
+// Median-of-3 timed solves. The allocation from the last solve is returned
+// via *out (all three are byte-identical by the determinism contract — the
+// bench's bit_identical columns prove it, so which one we keep is moot).
+double MedianSolveSeconds(const KktWaterFillingSolver& solver,
+                          const CoreProblem& problem, Allocation* out) {
+  double seconds[3];
+  for (double& s : seconds) {
+    WallTimer timer;
+    *out = solver.Solve(problem).value();
+    s = timer.ElapsedSeconds();
+  }
+  std::sort(seconds, seconds + 3);
+  return seconds[1];
+}
+
 void WriteJson(const std::vector<ScalingRow>& rows, const char* path) {
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(file, "[\n");
+  std::fprintf(file, "{\n  \"hardware_threads\": %zu,\n  \"rows\": [\n",
+               par::HardwareThreads());
   for (size_t i = 0; i < rows.size(); ++i) {
     const ScalingRow& row = rows[i];
     std::fprintf(file,
-                 "  {\"component\": \"%s\", \"n\": %zu, \"threads\": %zu, "
-                 "\"seconds\": %.6f, \"speedup_vs_1t\": %.3f, "
-                 "\"bit_identical\": %s}%s\n",
-                 row.component.c_str(), row.n, row.threads, row.seconds,
-                 row.speedup_vs_1t, row.bit_identical ? "true" : "false",
+                 "    {\"component\": \"%s\", \"mode\": \"%s\", \"n\": %zu, "
+                 "\"threads\": %zu, \"seconds\": %.6f, "
+                 "\"speedup_vs_1t\": %.3f, \"bit_identical\": %s, "
+                 "\"oracle_byte_match\": %s}%s\n",
+                 row.component.c_str(), row.mode.c_str(), row.n, row.threads,
+                 row.seconds, row.speedup_vs_1t,
+                 row.bit_identical ? "true" : "false",
+                 row.oracle_byte_match ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(file, "]\n");
+  std::fprintf(file, "  ]\n}\n");
   std::fclose(file);
   std::printf("wrote %zu rows to %s\n", rows.size(), path);
 }
@@ -168,51 +228,90 @@ int main() {
       "KKT solver shows the problem itself is easy once\nits separable "
       "structure is exploited.\n\n");
 
-  // ---- Part 2: freshen::par thread sweep -------------------------------
-  std::printf("== Parallel scaling (freshen::par) ==\n");
+  // ---- Part 2: scan-breakpoint solver, thread + mode sweep -------------
+  const size_t hardware_threads = par::HardwareThreads();
+  std::printf("== Parallel scaling (scan-breakpoint KKT solver) ==\n");
   std::printf(
-      "fixed shard plan, per-shard Kahan accumulators merged in shard order "
-      "-- every\nthread count must reproduce the 1-thread bits exactly.\n\n");
-  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+      "median of 3 solves, warmed up, pinned instances; hardware threads: "
+      "%zu.\nEvery row must reproduce the 1-thread bits; scan must "
+      "byte-match the bisection\noracle.\n\n",
+      hardware_threads);
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8, 16};
   std::vector<ScalingRow> rows;
+  bool gate_failed = false;
 
-  TableWriter solver_table({"component", "N", "threads", "seconds",
-                            "speedup vs 1t", "bit-identical"});
+  TableWriter solver_table({"component", "mode", "N", "threads", "seconds",
+                            "speedup vs 1t", "bit-identical",
+                            "oracle-match"});
   const std::vector<size_t> solver_sizes =
-      bench::QuickMode() ? std::vector<size_t>{20000}
-                         : std::vector<size_t>{1000000, 2000000};
+      bench::QuickMode()
+          ? std::vector<size_t>{200000}
+          : std::vector<size_t>{1000000, 2000000, 10000000};
   for (size_t n : solver_sizes) {
-    ExperimentSpec spec = ExperimentSpec::IdealCase();
-    spec.num_objects = n;
-    spec.syncs_per_period = 0.5 * static_cast<double>(n);
-    spec.alignment = Alignment::kShuffled;
-    const ElementSet elements = bench::MustCatalog(spec);
-    const CoreProblem problem =
-        MakePerceivedProblem(elements, spec.syncs_per_period, false);
+    const CoreProblem problem = SyntheticProblem(n);
 
-    Allocation baseline;
+    // Warm-up (untimed): faults in the problem arrays, spins up the shared
+    // pool, and exercises both modes' code paths once.
+    Allocation scan_baseline;
+    {
+      KktWaterFillingSolver::Options options;
+      options.threads = hardware_threads;
+      KktWaterFillingSolver(options).Solve(problem).value();
+    }
+
+    // Oracle reference: 1-thread bisection, the structurally different
+    // probe path the scan must byte-match.
+    Allocation oracle_allocation;
+    {
+      KktWaterFillingSolver::Options options;
+      options.threads = 1;
+      options.search = MultiplierSearch::kBisectionOracle;
+      const double seconds = MedianSolveSeconds(
+          KktWaterFillingSolver(options), problem, &oracle_allocation);
+      solver_table.AddRow({"kkt_solver", "oracle", StrFormat("%zu", n), "1",
+                           FormatDouble(seconds, 3), "-", "yes", "-"});
+      rows.push_back({"kkt_solver", "oracle", n, 1, seconds, 0.0, true,
+                      true});
+    }
+
     double baseline_seconds = 0.0;
     for (size_t threads : thread_counts) {
       KktWaterFillingSolver::Options options;
       options.threads = threads;
-      const Allocation allocation =
-          KktWaterFillingSolver(options).Solve(problem).value();
+      options.search = MultiplierSearch::kScanBreakpoint;
+      Allocation allocation;
+      const double seconds = MedianSolveSeconds(KktWaterFillingSolver(options),
+                                                problem, &allocation);
       const bool identical =
-          threads == 1 || SameAllocation(allocation, baseline);
+          threads == 1 || SameAllocation(allocation, scan_baseline);
+      const bool oracle_match = SameAllocation(allocation, oracle_allocation);
       if (threads == 1) {
-        baseline = allocation;
-        baseline_seconds = allocation.solve_seconds;
+        scan_baseline = allocation;
+        baseline_seconds = seconds;
       }
-      const double speedup = allocation.solve_seconds > 0.0
-                                 ? baseline_seconds / allocation.solve_seconds
-                                 : 0.0;
-      solver_table.AddRow({"kkt_solver", StrFormat("%zu", n),
-                           StrFormat("%zu", threads),
-                           FormatDouble(allocation.solve_seconds, 3),
-                           StrFormat("%.2fx", speedup),
-                           identical ? "yes" : "NO"});
-      rows.push_back({"kkt_solver", n, threads, allocation.solve_seconds,
-                      speedup, identical});
+      const double speedup =
+          seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+      solver_table.AddRow(
+          {"kkt_solver", "scan", StrFormat("%zu", n),
+           StrFormat("%zu", threads), FormatDouble(seconds, 3),
+           StrFormat("%.2fx", speedup), identical ? "yes" : "NO",
+           oracle_match ? "yes" : "NO"});
+      rows.push_back({"kkt_solver", "scan", n, threads, seconds, speedup,
+                      identical, oracle_match});
+      if (!oracle_match) {
+        std::fprintf(stderr,
+                     "FAIL: scan != oracle allocation at n=%zu threads=%zu\n",
+                     n, threads);
+        gate_failed = true;
+      }
+      if (threads == 8 && hardware_threads >= 8 && speedup < 2.0) {
+        std::fprintf(
+            stderr,
+            "FAIL: 8-thread speedup %.2fx < 2x at n=%zu on a %zu-thread "
+            "machine\n",
+            speedup, n, hardware_threads);
+        gate_failed = true;
+      }
     }
   }
 
@@ -236,36 +335,58 @@ int main() {
     config.accesses_per_period = 0.1 * static_cast<double>(n);
     config.seed = 7;
 
+    // Warm-up (untimed).
+    {
+      config.threads = hardware_threads;
+      MirrorSimulator simulator(elements, config);
+      simulator.Run(allocation.frequencies).value();
+    }
+
     SimulationResult baseline;
     double baseline_seconds = 0.0;
     for (size_t threads : thread_counts) {
       config.threads = threads;
       MirrorSimulator simulator(elements, config);
-      WallTimer timer;
-      const SimulationResult result =
-          simulator.Run(allocation.frequencies).value();
-      const double seconds = timer.ElapsedSeconds();
+      double seconds[3];
+      SimulationResult result;
+      for (double& s : seconds) {
+        WallTimer timer;
+        result = simulator.Run(allocation.frequencies).value();
+        s = timer.ElapsedSeconds();
+      }
+      std::sort(seconds, seconds + 3);
+      const double median = seconds[1];
       const bool identical = threads == 1 || SameResult(result, baseline);
       if (threads == 1) {
         baseline = result;
-        baseline_seconds = seconds;
+        baseline_seconds = median;
       }
-      const double speedup =
-          seconds > 0.0 ? baseline_seconds / seconds : 0.0;
-      solver_table.AddRow({"simulator", StrFormat("%zu", n),
-                           StrFormat("%zu", threads), FormatDouble(seconds, 3),
+      const double speedup = median > 0.0 ? baseline_seconds / median : 0.0;
+      solver_table.AddRow({"simulator", "-", StrFormat("%zu", n),
+                           StrFormat("%zu", threads), FormatDouble(median, 3),
                            StrFormat("%.2fx", speedup),
-                           identical ? "yes" : "NO"});
-      rows.push_back({"simulator", n, threads, seconds, speedup, identical});
+                           identical ? "yes" : "NO", "-"});
+      rows.push_back(
+          {"simulator", "-", n, threads, median, speedup, identical, true});
     }
   }
   std::printf("%s\n", solver_table.ToText().c_str());
-  std::printf(
-      "reading: shard boundaries depend only on N, so the thread column is "
-      "pure execution\npolicy -- a bit-identical=NO row is a determinism "
-      "bug, not noise. Speedups track\nphysical cores (hardware "
-      "concurrency here: %zu).\n",
-      par::HardwareThreads());
+  if (hardware_threads >= 8) {
+    std::printf(
+        "reading: shard boundaries depend only on N, so the thread column "
+        "is pure execution\npolicy -- a bit-identical=NO row is a "
+        "determinism bug, not noise. The 8-thread\nrows are gated at >= "
+        "2x.\n");
+  } else {
+    std::printf(
+        "reading: this machine exposes %zu hardware thread(s), so "
+        "multi-thread rows\noversubscribe cores and measure scheduler "
+        "fairness, not scaling -- the >= 2x\n8-thread gate is skipped "
+        "(it is enforced on machines with >= 8 threads). The\n"
+        "bit-identical and oracle-match columns are hardware-independent "
+        "and still gate.\n",
+        hardware_threads);
+  }
 
   bool all_identical = true;
   for (const ScalingRow& row : rows) all_identical &= row.bit_identical;
@@ -275,5 +396,6 @@ int main() {
                  "FAIL: some thread counts broke the determinism contract\n");
     return 1;
   }
+  if (gate_failed) return 1;
   return 0;
 }

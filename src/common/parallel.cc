@@ -17,13 +17,14 @@ size_t HardwareThreads() {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
-size_t ShardCount(size_t n) {
+size_t ShardCountFor(size_t n, size_t grain, size_t max_shards) {
   if (n == 0) return 0;
-  return std::clamp<size_t>(n / kShardGrain, 1, kMaxShards);
+  FRESHEN_DCHECK(grain > 0 && max_shards > 0);
+  return std::clamp<size_t>(n / grain, 1, max_shards);
 }
 
-std::vector<Shard> ShardPlan(size_t n) {
-  const size_t count = ShardCount(n);
+std::vector<Shard> ShardPlanFor(size_t n, size_t grain, size_t max_shards) {
+  const size_t count = ShardCountFor(n, grain, max_shards);
   std::vector<Shard> plan;
   plan.reserve(count);
   const size_t base = count == 0 ? 0 : n / count;
@@ -35,6 +36,12 @@ std::vector<Shard> ShardPlan(size_t n) {
     begin += size;
   }
   return plan;
+}
+
+size_t ShardCount(size_t n) { return ShardCountFor(n, kShardGrain, kMaxShards); }
+
+std::vector<Shard> ShardPlan(size_t n) {
+  return ShardPlanFor(n, kShardGrain, kMaxShards);
 }
 
 size_t ShardIndexOf(size_t n, size_t i) {

@@ -49,6 +49,16 @@ inline constexpr size_t kShardGrain = 4096;
 /// while bounding per-region bookkeeping.
 inline constexpr size_t kMaxShards = 64;
 
+/// Shard sizing for transcendental-bound loops (the solvers' kernel
+/// inversions, ~100ns/element): work per element is ~100x a plain
+/// reduction's, so shards amortize their scheduling overhead at 1/4 the
+/// grain, and the 64-shard cap — sized for memory-bound loops where extra
+/// shards only add bookkeeping — would leave giant shards (and idle
+/// workers) on multi-million-element active sets. 512 shards keeps
+/// per-shard work >= ~0.1ms at any size that matters.
+inline constexpr size_t kTranscendentalGrain = 1024;
+inline constexpr size_t kTranscendentalMaxShards = 512;
+
 /// One contiguous slice [begin, end) of the index space.
 struct Shard {
   size_t index = 0;
@@ -61,12 +71,25 @@ struct Shard {
 /// std::thread::hardware_concurrency(), never less than 1.
 size_t HardwareThreads();
 
-/// Number of shards for an n-element region: clamp(n / kShardGrain, 1,
-/// kMaxShards); 0 for n == 0. Depends only on n.
+/// Number of shards for an n-element region: clamp(n / grain, 1,
+/// max_shards); 0 for n == 0. Depends only on the arguments — never on the
+/// thread count — which is what keeps plans (and thus reduction trees)
+/// stable across executors.
+size_t ShardCountFor(size_t n, size_t grain, size_t max_shards);
+
+/// The fixed shard plan for n elements under (grain, max_shards):
+/// ShardCountFor contiguous ranges whose sizes differ by at most one
+/// (larger shards first). Callers with transcendental-bound bodies should
+/// pass (kTranscendentalGrain, kTranscendentalMaxShards); note the plan is
+/// part of any reduction's summation tree, so a consumer that documents
+/// bit-stability must pick ONE plan per value and stick with it.
+std::vector<Shard> ShardPlanFor(size_t n, size_t grain, size_t max_shards);
+
+/// ShardCountFor(n, kShardGrain, kMaxShards): the default memory-bound
+/// sizing used by Executor's ForEach/Sum/Max.
 size_t ShardCount(size_t n);
 
-/// The fixed shard plan for n elements: ShardCount(n) contiguous ranges
-/// whose sizes differ by at most one (larger shards first).
+/// ShardPlanFor(n, kShardGrain, kMaxShards).
 std::vector<Shard> ShardPlan(size_t n);
 
 /// Index of the shard that owns element i under ShardPlan(n). Requires
@@ -140,16 +163,25 @@ class Executor {
       return;
     }
     WallTimer wall;
-    std::atomic<size_t> next{0};
-    std::vector<double> busy(tasks, 0.0);
+    // The queue cursor gets its own cache line, and each worker's busy-time
+    // slot gets one too: `next` is hammered by every worker, and adjacent
+    // plain doubles would put all workers' writes on one line — false
+    // sharing that serializes short shards (the N=2M 8-thread regression).
+    struct alignas(64) PaddedCursor {
+      std::atomic<size_t> value{0};
+    } next;
+    struct alignas(64) PaddedSeconds {
+      double value = 0.0;
+    };
+    std::vector<PaddedSeconds> busy(tasks);
     auto drain = [&](size_t slot) {
       WallTimer timer;
-      for (size_t j = next.fetch_add(1, std::memory_order_relaxed);
+      for (size_t j = next.value.fetch_add(1, std::memory_order_relaxed);
            j < plan.size();
-           j = next.fetch_add(1, std::memory_order_relaxed)) {
+           j = next.value.fetch_add(1, std::memory_order_relaxed)) {
         fn(plan[j]);
       }
-      busy[slot] = timer.ElapsedSeconds();
+      busy[slot].value = timer.ElapsedSeconds();
     };
     {
       TaskGroup group;
@@ -160,7 +192,7 @@ class Executor {
       group.Join();
     }
     double busy_total = 0.0;
-    for (double seconds : busy) busy_total += seconds;
+    for (const PaddedSeconds& seconds : busy) busy_total += seconds.value;
     detail::RecordRegion(plan.size(), tasks, wall.ElapsedSeconds(),
                          busy_total);
   }

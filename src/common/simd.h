@@ -1,0 +1,556 @@
+// freshen::simd — explicit SIMD for the solvers' transcendental kernels.
+//
+// The water-filling solvers spend nearly all their time evaluating
+// exp/log-shaped kernels over the compacted SoA active set. libm gives one
+// root per call; this header gives kLanes per instruction, with three
+// properties the solvers rely on:
+//
+//   * Compile-time dispatch. One backend is chosen when the translation
+//     unit is compiled: AVX-512F (8 lanes), AVX2+FMA (4 lanes), NEON on
+//     aarch64 (2 lanes), or a portable scalar fallback (1 lane). There is
+//     no runtime dispatch and no function-pointer indirection in the hot
+//     loop.
+//   * Lane/scalar bit-equality. Every algorithm is a single template
+//     instantiated for both the native pack and ScalarPack, so the two
+//     run the *same operation sequence* — std::fma where the vector uses
+//     vfmadd, one rounding per step. A batched call is bit-identical to
+//     calling the scalar reference once per element (tests/simd_test.cc
+//     enforces this, tails included). This is what lets the solvers keep
+//     the byte-identical determinism contract while vectorizing.
+//   * No libm in the loop. exp/expm1/log1p are implemented here from
+//     add/mul/fma and integer bit manipulation, so results do not depend
+//     on the host libm version.
+//
+// Domain notes (deliberate, documented trade-offs — these are solver
+// kernels, not a general libm):
+//   * Exp flushes to 0 below x = -708 (no subnormal outputs) and to +inf
+//     above x = 709 (slightly early; true overflow is 709.78).
+//   * Expm1 returns exactly -1 below x = -708.
+//   * Log1p requires 1 + x to be a positive *normal* double.
+//   * NaN inputs are unsupported (they are clamped like ordinary
+//     out-of-range values; callers must not pass them).
+#ifndef FRESHEN_COMMON_SIMD_H_
+#define FRESHEN_COMMON_SIMD_H_
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace freshen {
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// Packs: one struct of static ops per backend. All backends expose the same
+// interface; algorithms below are templates over the pack type.
+// ---------------------------------------------------------------------------
+
+/// Portable 1-lane pack. Always available; the reference implementation the
+/// vector backends must match bit-for-bit.
+struct ScalarPack {
+  static constexpr size_t kWidth = 1;
+  static constexpr const char* kName = "scalar";
+  using Vec = double;
+  using Mask = bool;
+
+  static Vec Broadcast(double x) { return x; }
+  static Vec Load(const double* p) { return *p; }
+  static void Store(double* p, Vec v) { *p = v; }
+
+  static Vec Add(Vec a, Vec b) { return a + b; }
+  static Vec Sub(Vec a, Vec b) { return a - b; }
+  static Vec Mul(Vec a, Vec b) { return a * b; }
+  static Vec Div(Vec a, Vec b) { return a / b; }
+  static Vec Fma(Vec a, Vec b, Vec c) { return std::fma(a, b, c); }
+  static Vec Sqrt(Vec a) { return std::sqrt(a); }
+  static Vec Neg(Vec a) { return -a; }
+  static Vec Abs(Vec a) { return std::fabs(a); }
+  static Vec RoundNearest(Vec a) { return std::nearbyint(a); }
+
+  static Mask Lt(Vec a, Vec b) { return a < b; }
+  static Mask Le(Vec a, Vec b) { return a <= b; }
+  static Mask Gt(Vec a, Vec b) { return a > b; }
+  static Mask Ge(Vec a, Vec b) { return a >= b; }
+  static Vec Select(Mask m, Vec t, Vec f) { return m ? t : f; }
+  static Mask MaskAnd(Mask a, Mask b) { return a && b; }
+  static Mask MaskOr(Mask a, Mask b) { return a || b; }
+  static Mask MaskNot(Mask a) { return !a; }
+  static bool AnyTrue(Mask m) { return m; }
+  static bool AllTrue(Mask m) { return m; }
+
+  /// 2^k for integer-valued kd in [-1022, 1023]. Exact.
+  static Vec Pow2Int(Vec kd) {
+    const int64_t k = static_cast<int64_t>(kd);
+    return std::bit_cast<double>(static_cast<uint64_t>(k + 1023) << 52);
+  }
+
+  /// Decomposes a positive normal u as m * 2^e with m in [sqrt(1/2),
+  /// sqrt(2)). Exact (pure bit manipulation plus an exact halving).
+  static void SplitExp(Vec u, Vec* m, Vec* e) {
+    const uint64_t iu = std::bit_cast<uint64_t>(u);
+    double md =
+        std::bit_cast<double>((iu & 0x000FFFFFFFFFFFFFull) |
+                              0x3FF0000000000000ull);
+    double ed = static_cast<double>(iu >> 52) - 1023.0;
+    if (md >= 1.41421356237309514547) {  // sqrt(2), rounded up.
+      md *= 0.5;
+      ed += 1.0;
+    }
+    *m = md;
+    *e = ed;
+  }
+};
+
+#if defined(__AVX512F__)
+
+/// 8-lane AVX-512F pack.
+struct Avx512Pack {
+  static constexpr size_t kWidth = 8;
+  static constexpr const char* kName = "avx512";
+  using Vec = __m512d;
+  using Mask = __mmask8;
+
+  static Vec Broadcast(double x) { return _mm512_set1_pd(x); }
+  static Vec Load(const double* p) { return _mm512_loadu_pd(p); }
+  static void Store(double* p, Vec v) { _mm512_storeu_pd(p, v); }
+
+  static Vec Add(Vec a, Vec b) { return _mm512_add_pd(a, b); }
+  static Vec Sub(Vec a, Vec b) { return _mm512_sub_pd(a, b); }
+  static Vec Mul(Vec a, Vec b) { return _mm512_mul_pd(a, b); }
+  static Vec Div(Vec a, Vec b) { return _mm512_div_pd(a, b); }
+  static Vec Fma(Vec a, Vec b, Vec c) { return _mm512_fmadd_pd(a, b, c); }
+  static Vec Sqrt(Vec a) {
+    // maskz form: see RoundNearest.
+    return _mm512_maskz_sqrt_pd(0xFF, a);
+  }
+  static Vec Neg(Vec a) {
+    return _mm512_castsi512_pd(_mm512_xor_si512(
+        _mm512_castpd_si512(a), _mm512_set1_epi64(0x8000000000000000ll)));
+  }
+  static Vec Abs(Vec a) { return _mm512_abs_pd(a); }
+  static Vec RoundNearest(Vec a) {
+    // maskz form: GCC's unmasked roundscale routes through
+    // _mm512_undefined_pd() and trips -Wmaybe-uninitialized.
+    return _mm512_maskz_roundscale_pd(
+        0xFF, a, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+
+  static Mask Lt(Vec a, Vec b) { return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ); }
+  static Mask Le(Vec a, Vec b) { return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ); }
+  static Mask Gt(Vec a, Vec b) { return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ); }
+  static Mask Ge(Vec a, Vec b) { return _mm512_cmp_pd_mask(a, b, _CMP_GE_OQ); }
+  static Vec Select(Mask m, Vec t, Vec f) {
+    return _mm512_mask_blend_pd(m, f, t);
+  }
+  static Mask MaskAnd(Mask a, Mask b) { return a & b; }
+  static Mask MaskOr(Mask a, Mask b) { return a | b; }
+  static Mask MaskNot(Mask a) { return static_cast<Mask>(~a); }
+  static bool AnyTrue(Mask m) { return m != 0; }
+  static bool AllTrue(Mask m) { return m == 0xFF; }
+
+  static Vec Pow2Int(Vec kd) {
+    // Exact double -> int64 via the 1.5*2^52 shifter, then assemble the
+    // exponent field. Matches ScalarPack::Pow2Int bit-for-bit because every
+    // step is exact.
+    const Vec t = _mm512_add_pd(kd, _mm512_set1_pd(0x1.8p52));
+    __m512i i = _mm512_castpd_si512(t);
+    i = _mm512_sub_epi64(i, _mm512_set1_epi64(0x4338000000000000ll));
+    i = _mm512_add_epi64(i, _mm512_set1_epi64(1023));
+    return _mm512_castsi512_pd(_mm512_maskz_slli_epi64(0xFF, i, 52));
+  }
+
+  static void SplitExp(Vec u, Vec* m, Vec* e) {
+    const __m512i iu = _mm512_castpd_si512(u);
+    Vec md = _mm512_castsi512_pd(_mm512_or_si512(
+        _mm512_and_si512(iu, _mm512_set1_epi64(0x000FFFFFFFFFFFFFll)),
+        _mm512_set1_epi64(0x3FF0000000000000ll)));
+    // Biased exponent as a double via the 2^52 OR trick.
+    const Vec ed_raw = _mm512_sub_pd(
+        _mm512_castsi512_pd(_mm512_or_si512(
+            _mm512_maskz_srli_epi64(0xFF, iu, 52),
+            _mm512_set1_epi64(0x4330000000000000ll))),
+        _mm512_set1_pd(0x1p52));
+    const Mask big = Ge(md, Broadcast(1.41421356237309514547));
+    md = Select(big, Mul(md, Broadcast(0.5)), md);
+    Vec ed = Sub(ed_raw, Broadcast(1023.0));
+    ed = Select(big, Add(ed, Broadcast(1.0)), ed);
+    *m = md;
+    *e = ed;
+  }
+};
+
+using NativePack = Avx512Pack;
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+/// 4-lane AVX2+FMA pack.
+struct Avx2Pack {
+  static constexpr size_t kWidth = 4;
+  static constexpr const char* kName = "avx2";
+  using Vec = __m256d;
+  using Mask = __m256d;  // All-ones / all-zeros per lane.
+
+  static Vec Broadcast(double x) { return _mm256_set1_pd(x); }
+  static Vec Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, Vec v) { _mm256_storeu_pd(p, v); }
+
+  static Vec Add(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+  static Vec Sub(Vec a, Vec b) { return _mm256_sub_pd(a, b); }
+  static Vec Mul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+  static Vec Div(Vec a, Vec b) { return _mm256_div_pd(a, b); }
+  static Vec Fma(Vec a, Vec b, Vec c) { return _mm256_fmadd_pd(a, b, c); }
+  static Vec Sqrt(Vec a) { return _mm256_sqrt_pd(a); }
+  static Vec Neg(Vec a) { return _mm256_xor_pd(a, Broadcast(-0.0)); }
+  static Vec Abs(Vec a) { return _mm256_andnot_pd(Broadcast(-0.0), a); }
+  static Vec RoundNearest(Vec a) {
+    return _mm256_round_pd(a, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+
+  static Mask Lt(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static Mask Le(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static Mask Gt(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static Mask Ge(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static Vec Select(Mask m, Vec t, Vec f) {
+    return _mm256_blendv_pd(f, t, m);
+  }
+  static Mask MaskAnd(Mask a, Mask b) { return _mm256_and_pd(a, b); }
+  static Mask MaskOr(Mask a, Mask b) { return _mm256_or_pd(a, b); }
+  static Mask MaskNot(Mask a) {
+    return _mm256_xor_pd(a, _mm256_castsi256_pd(_mm256_set1_epi64x(-1)));
+  }
+  static bool AnyTrue(Mask m) { return _mm256_movemask_pd(m) != 0; }
+  static bool AllTrue(Mask m) { return _mm256_movemask_pd(m) == 0xF; }
+
+  static Vec Pow2Int(Vec kd) {
+    const Vec t = _mm256_add_pd(kd, Broadcast(0x1.8p52));
+    __m256i i = _mm256_castpd_si256(t);
+    i = _mm256_sub_epi64(i, _mm256_set1_epi64x(0x4338000000000000ll));
+    i = _mm256_add_epi64(i, _mm256_set1_epi64x(1023));
+    return _mm256_castsi256_pd(_mm256_slli_epi64(i, 52));
+  }
+
+  static void SplitExp(Vec u, Vec* m, Vec* e) {
+    const __m256i iu = _mm256_castpd_si256(u);
+    Vec md = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(iu, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFll)),
+        _mm256_set1_epi64x(0x3FF0000000000000ll)));
+    const Vec ed_raw = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(
+            _mm256_srli_epi64(iu, 52),
+            _mm256_set1_epi64x(0x4330000000000000ll))),
+        Broadcast(0x1p52));
+    const Mask big = Ge(md, Broadcast(1.41421356237309514547));
+    md = Select(big, Mul(md, Broadcast(0.5)), md);
+    Vec ed = Sub(ed_raw, Broadcast(1023.0));
+    ed = Select(big, Add(ed, Broadcast(1.0)), ed);
+    *m = md;
+    *e = ed;
+  }
+};
+
+using NativePack = Avx2Pack;
+
+#elif defined(__aarch64__)
+
+/// 2-lane NEON pack (aarch64 has IEEE double NEON arithmetic).
+struct NeonPack {
+  static constexpr size_t kWidth = 2;
+  static constexpr const char* kName = "neon";
+  using Vec = float64x2_t;
+  using Mask = uint64x2_t;
+
+  static Vec Broadcast(double x) { return vdupq_n_f64(x); }
+  static Vec Load(const double* p) { return vld1q_f64(p); }
+  static void Store(double* p, Vec v) { vst1q_f64(p, v); }
+
+  static Vec Add(Vec a, Vec b) { return vaddq_f64(a, b); }
+  static Vec Sub(Vec a, Vec b) { return vsubq_f64(a, b); }
+  static Vec Mul(Vec a, Vec b) { return vmulq_f64(a, b); }
+  static Vec Div(Vec a, Vec b) { return vdivq_f64(a, b); }
+  static Vec Fma(Vec a, Vec b, Vec c) { return vfmaq_f64(c, a, b); }
+  static Vec Sqrt(Vec a) { return vsqrtq_f64(a); }
+  static Vec Neg(Vec a) { return vnegq_f64(a); }
+  static Vec Abs(Vec a) { return vabsq_f64(a); }
+  static Vec RoundNearest(Vec a) { return vrndnq_f64(a); }
+
+  static Mask Lt(Vec a, Vec b) { return vcltq_f64(a, b); }
+  static Mask Le(Vec a, Vec b) { return vcleq_f64(a, b); }
+  static Mask Gt(Vec a, Vec b) { return vcgtq_f64(a, b); }
+  static Mask Ge(Vec a, Vec b) { return vcgeq_f64(a, b); }
+  static Vec Select(Mask m, Vec t, Vec f) { return vbslq_f64(m, t, f); }
+  static Mask MaskAnd(Mask a, Mask b) { return vandq_u64(a, b); }
+  static Mask MaskOr(Mask a, Mask b) { return vorrq_u64(a, b); }
+  static Mask MaskNot(Mask a) {
+    return veorq_u64(a, vdupq_n_u64(~0ull));
+  }
+  static bool AnyTrue(Mask m) {
+    return (vgetq_lane_u64(m, 0) | vgetq_lane_u64(m, 1)) != 0;
+  }
+  static bool AllTrue(Mask m) {
+    return (vgetq_lane_u64(m, 0) & vgetq_lane_u64(m, 1)) == ~0ull;
+  }
+
+  static Vec Pow2Int(Vec kd) {
+    const Vec t = vaddq_f64(kd, Broadcast(0x1.8p52));
+    int64x2_t i = vreinterpretq_s64_f64(t);
+    i = vsubq_s64(i, vdupq_n_s64(0x4338000000000000ll));
+    i = vaddq_s64(i, vdupq_n_s64(1023));
+    return vreinterpretq_f64_s64(vshlq_n_s64(i, 52));
+  }
+
+  static void SplitExp(Vec u, Vec* m, Vec* e) {
+    const uint64x2_t iu = vreinterpretq_u64_f64(u);
+    Vec md = vreinterpretq_f64_u64(vorrq_u64(
+        vandq_u64(iu, vdupq_n_u64(0x000FFFFFFFFFFFFFull)),
+        vdupq_n_u64(0x3FF0000000000000ull)));
+    const Vec ed_raw = vsubq_f64(
+        vreinterpretq_f64_u64(vorrq_u64(vshrq_n_u64(iu, 52),
+                                        vdupq_n_u64(0x4330000000000000ull))),
+        Broadcast(0x1p52));
+    const Mask big = Ge(md, Broadcast(1.41421356237309514547));
+    md = Select(big, Mul(md, Broadcast(0.5)), md);
+    Vec ed = Sub(ed_raw, Broadcast(1023.0));
+    ed = Select(big, Add(ed, Broadcast(1.0)), ed);
+    *m = md;
+    *e = ed;
+  }
+};
+
+using NativePack = NeonPack;
+
+#else
+
+using NativePack = ScalarPack;
+
+#endif
+
+/// Lane count of the native backend (1 on the portable fallback).
+inline constexpr size_t kLanes = NativePack::kWidth;
+
+/// Human-readable backend name ("avx512" | "avx2" | "neon" | "scalar").
+inline const char* BackendName() { return NativePack::kName; }
+
+// ---------------------------------------------------------------------------
+// Algorithms. One template each, instantiated for NativePack (batch path)
+// and ScalarPack (reference path) — same operation sequence, same bits.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline constexpr double kLog2E = 1.44269504088896338700e+00;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/// exp(r) = 1 + r + r^2 * Q(r) on |r| <= ln2/2; Q's Taylor coefficients
+/// 1/2! .. 1/14! (truncation ~4e-18 relative at the interval edge).
+inline constexpr double kExpQ[] = {
+    1.0 / 2,          1.0 / 6,           1.0 / 24,
+    1.0 / 120,        1.0 / 720,         1.0 / 5040,
+    1.0 / 40320,      1.0 / 362880,      1.0 / 3628800,
+    1.0 / 39916800,   1.0 / 479001600,   1.0 / 6227020800.0,
+    1.0 / 87178291200.0};
+
+// fdlibm log() rational-correction coefficients.
+inline constexpr double kLg1 = 6.666666666666735130e-01;
+inline constexpr double kLg2 = 3.999999999940941908e-01;
+inline constexpr double kLg3 = 2.857142874366239149e-01;
+inline constexpr double kLg4 = 2.222219843214978396e-01;
+inline constexpr double kLg5 = 1.818357216161805012e-01;
+inline constexpr double kLg6 = 1.531383769920937332e-01;
+inline constexpr double kLg7 = 1.479819860511658591e-01;
+
+/// Shared range reduction: x = kd*ln2 + r with kd integral and
+/// |r| <= ln2/2, plus y = exp(r) - 1 (exact relative accuracy near 0).
+template <class P>
+struct ExpReduction {
+  typename P::Vec kd;
+  typename P::Vec y;
+};
+
+template <class P>
+inline ExpReduction<P> ReduceExp(typename P::Vec x) {
+  using V = typename P::Vec;
+  const V kd = P::RoundNearest(P::Mul(x, P::Broadcast(kLog2E)));
+  V r = P::Fma(kd, P::Broadcast(-kLn2Hi), x);
+  r = P::Fma(kd, P::Broadcast(-kLn2Lo), r);
+  V q = P::Broadcast(kExpQ[12]);
+  for (int i = 11; i >= 0; --i) {
+    q = P::Fma(q, r, P::Broadcast(kExpQ[i]));
+  }
+  return ExpReduction<P>{kd, P::Fma(P::Mul(r, r), q, r)};
+}
+
+/// exp(x). Domain notes at the top of the file: flush-to-zero below -708,
+/// +inf above 709, no NaN support.
+template <class P>
+inline typename P::Vec ExpT(typename P::Vec x) {
+  using V = typename P::Vec;
+  const V lo = P::Broadcast(-708.0);
+  const V hi = P::Broadcast(709.0);
+  V xc = P::Select(P::Lt(x, lo), lo, x);
+  xc = P::Select(P::Gt(xc, hi), hi, xc);
+  const ExpReduction<P> red = ReduceExp<P>(xc);
+  const V scale = P::Pow2Int(red.kd);
+  V out = P::Fma(red.y, scale, scale);
+  out = P::Select(P::Gt(x, hi),
+                  P::Broadcast(std::numeric_limits<double>::infinity()), out);
+  out = P::Select(P::Lt(x, lo), P::Broadcast(0.0), out);
+  return out;
+}
+
+/// expm1(x). Exactly -1 below x = -708; +inf above 709.
+template <class P>
+inline typename P::Vec Expm1T(typename P::Vec x) {
+  using V = typename P::Vec;
+  const V lo = P::Broadcast(-708.0);
+  const V hi = P::Broadcast(709.0);
+  V xc = P::Select(P::Lt(x, lo), lo, x);
+  xc = P::Select(P::Gt(xc, hi), hi, xc);
+  const ExpReduction<P> red = ReduceExp<P>(xc);
+  const V scale = P::Pow2Int(red.kd);
+  // 2^k (1 + y) - 1 = y*2^k + (2^k - 1); the subtraction is exact for
+  // |k| <= 53 and drowned below the result's ulp outside that range.
+  V out = P::Fma(red.y, scale, P::Sub(scale, P::Broadcast(1.0)));
+  out = P::Select(P::Gt(x, hi),
+                  P::Broadcast(std::numeric_limits<double>::infinity()), out);
+  out = P::Select(P::Lt(x, lo), P::Broadcast(-1.0), out);
+  return out;
+}
+
+/// Shared fdlibm log core: log(m * 2^kd) + c for m = 1 + f in
+/// [sqrt(1/2), sqrt(2)), where c is a caller-supplied additive correction
+/// (the relative residue of the argument reduction; 0 when exact).
+template <class P>
+inline typename P::Vec LogCoreT(typename P::Vec f, typename P::Vec kd,
+                                typename P::Vec c) {
+  using V = typename P::Vec;
+  const V s = P::Div(f, P::Add(P::Broadcast(2.0), f));
+  const V z = P::Mul(s, s);
+  const V w = P::Mul(z, z);
+  const V t1 =
+      P::Mul(w, P::Fma(w, P::Fma(w, P::Broadcast(kLg6), P::Broadcast(kLg4)),
+                       P::Broadcast(kLg2)));
+  const V t2 = P::Mul(
+      z, P::Fma(w,
+                P::Fma(w, P::Fma(w, P::Broadcast(kLg7), P::Broadcast(kLg5)),
+                       P::Broadcast(kLg3)),
+                P::Broadcast(kLg1)));
+  const V r = P::Add(t1, t2);
+  const V hfsq = P::Mul(P::Broadcast(0.5), P::Mul(f, f));
+  // k*ln2hi - ((hfsq - (s*(hfsq+R) + (k*ln2lo + c))) - f), as in musl.
+  const V inner = P::Fma(s, P::Add(hfsq, r),
+                         P::Fma(kd, P::Broadcast(kLn2Lo), c));
+  return P::Fma(kd, P::Broadcast(kLn2Hi),
+                P::Sub(f, P::Sub(hfsq, inner)));
+}
+
+/// log1p(x) for 1 + x a positive normal double. fdlibm/musl structure:
+/// decompose 1+x = m*2^k with m in [sqrt(1/2), sqrt(2)), then the shared
+/// core, plus the rounding-residue correction c that makes the reduction
+/// exact. NOTE: when |1+x| << 1 the residue of forming 1+x is a large
+/// *relative* error of the sum and this (like libm's log1p) cannot recover
+/// precision x itself never had; for log of a directly-representable
+/// positive v use LogPosT, which is exact in its reduction.
+template <class P>
+inline typename P::Vec Log1pT(typename P::Vec x) {
+  using V = typename P::Vec;
+  using M = typename P::Mask;
+  const V one = P::Broadcast(1.0);
+  const V u = P::Add(one, x);
+  V m, kd;
+  P::SplitExp(u, &m, &kd);
+  const V f = P::Sub(m, one);
+  // Residue of the 1+x rounding, as a relative correction. For k == 0 the
+  // Sterbenz-exact form x - (u-1); for k > 0 the dual 1 - (u-x); for k < 0
+  // (x near -1) u is exact-ish and the k==0 form degrades gracefully.
+  const M pos = P::Gt(kd, P::Broadcast(0.0));
+  const V c = P::Div(P::Select(pos, P::Sub(one, P::Sub(u, x)),
+                               P::Sub(x, P::Sub(u, one))),
+                     u);
+  return LogCoreT<P>(f, kd, c);
+}
+
+/// log(v) for v a positive normal double. Same core as Log1pT but the
+/// m * 2^k reduction of v is exact, so there is no correction term and the
+/// result is ~1 ulp for any magnitude — including v << 1, where going
+/// through Log1pT(v - 1) would lose ~all precision to the (v-1)+1 round
+/// trip.
+template <class P>
+inline typename P::Vec LogPosT(typename P::Vec v) {
+  using V = typename P::Vec;
+  V m, kd;
+  P::SplitExp(v, &m, &kd);
+  const V f = P::Sub(m, P::Broadcast(1.0));
+  return LogCoreT<P>(f, kd, P::Broadcast(0.0));
+}
+
+/// Applies a 1-in/1-out lane algorithm over an array with a padded tail
+/// (pad value 0.0 is in-domain for exp/expm1/log1p).
+template <class P, typename AlgFn>
+inline void MapBatch(AlgFn alg, const double* x, double* out, size_t n) {
+  constexpr size_t w = P::kWidth;
+  size_t i = 0;
+  for (; i + w <= n; i += w) {
+    P::Store(out + i, alg(P::Load(x + i)));
+  }
+  if (i < n) {
+    double buf[w] = {0.0};
+    for (size_t j = i; j < n; ++j) buf[j - i] = x[j];
+    typename P::Vec v = alg(P::Load(buf));
+    P::Store(buf, v);
+    for (size_t j = i; j < n; ++j) out[j] = buf[j - i];
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public batch API + scalar references.
+// ---------------------------------------------------------------------------
+
+/// out[i] = exp(x[i]). Bit-identical to ExpRef per element.
+inline void ExpBatch(const double* x, double* out, size_t n) {
+  detail::MapBatch<NativePack>(
+      [](NativePack::Vec v) { return detail::ExpT<NativePack>(v); }, x, out,
+      n);
+}
+
+/// out[i] = expm1(x[i]). Bit-identical to Expm1Ref per element.
+inline void Expm1Batch(const double* x, double* out, size_t n) {
+  detail::MapBatch<NativePack>(
+      [](NativePack::Vec v) { return detail::Expm1T<NativePack>(v); }, x, out,
+      n);
+}
+
+/// out[i] = log1p(x[i]). Bit-identical to Log1pRef per element.
+inline void Log1pBatch(const double* x, double* out, size_t n) {
+  detail::MapBatch<NativePack>(
+      [](NativePack::Vec v) { return detail::Log1pT<NativePack>(v); }, x, out,
+      n);
+}
+
+/// out[i] = log(x[i]) for positive normal x[i]. Bit-identical to LogPosRef
+/// per element.
+inline void LogPosBatch(const double* x, double* out, size_t n) {
+  detail::MapBatch<NativePack>(
+      [](NativePack::Vec v) { return detail::LogPosT<NativePack>(v); }, x,
+      out, n);
+}
+
+/// Scalar references: the same algorithm as one SIMD lane.
+inline double ExpRef(double x) { return detail::ExpT<ScalarPack>(x); }
+inline double Expm1Ref(double x) { return detail::Expm1T<ScalarPack>(x); }
+inline double Log1pRef(double x) { return detail::Log1pT<ScalarPack>(x); }
+inline double LogPosRef(double x) { return detail::LogPosT<ScalarPack>(x); }
+
+}  // namespace simd
+}  // namespace freshen
+
+#endif  // FRESHEN_COMMON_SIMD_H_

@@ -1,0 +1,228 @@
+#include "model/freshness_batch.h"
+
+#include "common/simd.h"
+
+namespace freshen {
+namespace {
+
+using simd::NativePack;
+using simd::ScalarPack;
+
+// All kernels are one template instantiated for NativePack (batch path) and
+// ScalarPack (reference path); see common/simd.h for why that gives bitwise
+// agreement between the two.
+template <class P>
+struct Kernels {
+  using V = typename P::Vec;
+  using M = typename P::Mask;
+
+  static V C(double x) { return P::Broadcast(x); }
+
+  /// g(r) = 1 - (1+r) e^{-r}, r >= 0. Series below r = 1e-2: the direct
+  /// form cancels as r^2 against terms ~r (absolute error ~ulp(r), i.e.
+  /// ~4e-13 relative at r = 1e-3), while the series through r^7/840 is
+  /// ~4e-16 at the seam. Above 1e-2 the direct form is the accurate one.
+  static V GofR(V r, V em /* = expm1(-r) */) {
+    const V direct = P::Neg(P::Add(P::Fma(r, em, em), r));
+    V ser = P::Fma(r, C(-1.0 / 840.0), C(1.0 / 144.0));
+    ser = P::Fma(r, ser, C(-1.0 / 30.0));
+    ser = P::Fma(r, ser, C(0.125));
+    ser = P::Fma(r, ser, C(-1.0 / 3.0));
+    ser = P::Fma(r, ser, C(0.5));
+    ser = P::Mul(P::Mul(r, r), ser);
+    return P::Select(P::Lt(r, C(1e-2)), ser, direct);
+  }
+
+  static V MarginalGainG(V r) {
+    return GofR(r, simd::detail::Expm1T<P>(P::Neg(r)));
+  }
+
+  /// g^{-1}(y), y in (0, 1). Small-y series, analytic cold seed, then
+  /// bracket-safeguarded third-order (Chebyshev) iterations with per-lane
+  /// convergence freezing: a converged lane stops updating, so its result
+  /// never depends on how long its vector-mates keep iterating.
+  static V InverseG(V y, V seed) {
+    // Series: r = s (1 + s/3 + 11 s^2/72 + 43 s^3/540) + O(s^5),
+    // s = sqrt(2y). Exact to double for s < 1e-4 (y < 5e-9); also the cold
+    // seed up to y = 1/2 (there ~1% off, two iterations from convergence).
+    const V s = P::Sqrt(P::Add(y, y));
+    const V r_series = P::Mul(
+        s, P::Fma(s,
+                  P::Fma(s, P::Fma(s, C(43.0 / 540.0), C(11.0 / 72.0)),
+                         C(1.0 / 3.0)),
+                  C(1.0)));
+    const M series = P::Lt(s, C(1e-4));
+    // Cold seed: the series for y < 1/2; for larger y invert the dominant
+    // exponential: r ~ L + log(1+L) with L = -log(1-y).
+    const V l = P::Neg(simd::detail::Log1pT<P>(P::Neg(y)));
+    const V seed_big = P::Add(l, simd::detail::Log1pT<P>(l));
+    V r0 = P::Select(P::Lt(y, C(0.5)), r_series, seed_big);
+    // Caller seed wins when inside the safeguard bracket.
+    const M seeded =
+        P::MaskAnd(P::Gt(seed, C(0.0)), P::Lt(seed, C(745.0)));
+    r0 = P::Select(seeded, seed, r0);
+    r0 = P::Select(P::Lt(r0, C(1e-300)), C(1e-300), r0);
+    r0 = P::Select(P::Gt(r0, C(745.0)), C(745.0), r0);
+
+    V lo = C(0.0);
+    V hi = C(745.0);  // g(745) == 1 to double precision.
+    V r = r0;
+    M active = P::MaskNot(series);
+    for (int iter = 0; iter < 60 && P::AnyTrue(active); ++iter) {
+      const V em = simd::detail::Expm1T<P>(P::Neg(r));
+      const V gd = P::Sub(GofR(r, em), y);
+      const M pos = P::Gt(gd, C(0.0));
+      hi = P::Select(P::MaskAnd(pos, active), r, hi);
+      lo = P::Select(P::MaskAnd(P::MaskNot(pos), active), r, lo);
+      // Chebyshev step: u = (g-y)/g', correction 1 + u g''/(2g') with
+      // g' = r e^{-r} = r (1+em), g''/g' = (1-r)/r.
+      const V gp = P::Mul(r, P::Add(C(1.0), em));
+      const V u = P::Div(gd, gp);
+      const V q = P::Div(P::Sub(C(1.0), r), P::Add(r, r));
+      V next = P::Sub(r, P::Mul(u, P::Fma(u, q, C(1.0))));
+      // Outside the bracket (or NaN from a degenerate step): bisect.
+      const M ok = P::MaskAnd(P::Gt(next, lo), P::Lt(next, hi));
+      next = P::Select(ok, next, P::Mul(C(0.5), P::Add(lo, hi)));
+      const M done =
+          P::Le(P::Abs(P::Sub(next, r)), P::Mul(C(1e-15), next));
+      r = P::Select(active, next, r);
+      active = P::MaskAnd(active, P::MaskNot(done));
+    }
+    return P::Select(series, r_series, r);
+  }
+
+  /// h^{-1}(y), y > 0, h(r) = r^2/2 - g(r). Three regimes: series for
+  /// y < 3.3e-10 (r < 1e-3), closed form sqrt(2(y+1)) for y >= 1000 (the
+  /// e^{-r} residual is below the result's ulp there), iteration between.
+  static V InverseH(V y, V seed) {
+    const V r_big = P::Sqrt(P::Add(P::Add(y, y), C(2.0)));
+    const M big = P::Ge(y, C(1000.0));
+    // Series inversion of h ~ r^3/3: r = c (1 + c/8 + 13 c^2/960) with
+    // c = (3y)^{1/3} = exp(log(3y)/3). LogPos, not log1p(3y-1): for tiny y
+    // the -1/+1 round trip in the latter costs ~ulp(1)/(3y) relative.
+    const V c3 = simd::detail::ExpT<P>(
+        P::Mul(C(1.0 / 3.0), simd::detail::LogPosT<P>(P::Mul(C(3.0), y))));
+    const V r_series = P::Mul(
+        c3,
+        P::Fma(c3, P::Fma(c3, C(13.0 / 960.0), C(0.125)), C(1.0)));
+    const M series = P::Lt(y, C(3.3e-10));
+
+    V r0 = P::Select(P::Lt(y, C(0.3)), r_series, r_big);
+    const M seeded = P::MaskAnd(P::Gt(seed, C(0.0)), P::Lt(seed, C(50.0)));
+    r0 = P::Select(seeded, seed, r0);
+    r0 = P::Select(P::Lt(r0, C(1e-300)), C(1e-300), r0);
+    r0 = P::Select(P::Gt(r0, C(50.0)), C(50.0), r0);
+
+    V lo = C(0.0);
+    V hi = C(50.0);  // h(50) > 1000: covers every iterating lane.
+    V r = r0;
+    M active = P::MaskAnd(P::MaskNot(series), P::MaskNot(big));
+    for (int iter = 0; iter < 60 && P::AnyTrue(active); ++iter) {
+      const V em = simd::detail::Expm1T<P>(P::Neg(r));
+      V h = P::Sub(P::Mul(C(0.5), P::Mul(r, r)), GofR(r, em));
+      // h = r^3/3 - r^4/8 + r^5/30 - r^6/144 + r^7/840 - r^8/5760 below
+      // r = 2e-2: the direct r^2/2 - g(r) difference cancels to absolute
+      // ~ulp(r^2) there (relative ~6e-10 at r = 1e-3), the series is
+      // ~1.6e-12 at the seam and exact below r ~ 5e-3.
+      V hs = P::Fma(r, C(-1.0 / 5760.0), C(1.0 / 840.0));
+      hs = P::Fma(r, hs, C(-1.0 / 144.0));
+      hs = P::Fma(r, hs, C(1.0 / 30.0));
+      hs = P::Fma(r, hs, C(-0.125));
+      hs = P::Fma(r, hs, C(1.0 / 3.0));
+      hs = P::Mul(P::Mul(r, P::Mul(r, r)), hs);
+      h = P::Select(P::Lt(r, C(2e-2)), hs, h);
+      const V hd = P::Sub(h, y);
+      const M pos = P::Gt(hd, C(0.0));
+      hi = P::Select(P::MaskAnd(pos, active), r, hi);
+      lo = P::Select(P::MaskAnd(P::MaskNot(pos), active), r, lo);
+      // h' = r (1 - e^{-r}) = -r em; h'' = -em + r (1+em).
+      const V hp = P::Mul(r, P::Neg(em));
+      const V u = P::Div(hd, hp);
+      const V hpp = P::Fma(r, P::Add(C(1.0), em), P::Neg(em));
+      const V q = P::Div(hpp, P::Add(hp, hp));
+      V next = P::Sub(r, P::Mul(u, P::Fma(u, q, C(1.0))));
+      const M ok = P::MaskAnd(P::Gt(next, lo), P::Lt(next, hi));
+      next = P::Select(ok, next, P::Mul(C(0.5), P::Add(lo, hi)));
+      const M done =
+          P::Le(P::Abs(P::Sub(next, r)), P::Mul(C(1e-15), next));
+      r = P::Select(active, next, r);
+      active = P::MaskAnd(active, P::MaskNot(done));
+    }
+    return P::Select(series, r_series, P::Select(big, r_big, r));
+  }
+};
+
+/// Runs a (value, seed) -> value lane algorithm over arrays with a padded
+/// tail. Pad values must be in the algorithm's domain; results for pad
+/// lanes are discarded.
+template <typename Fn>
+void MapBatch2(Fn fn, const double* x, const double* seeds, double pad_x,
+               double* out, size_t n) {
+  using P = NativePack;
+  constexpr size_t w = P::kWidth;
+  const typename P::Vec no_seed = P::Broadcast(0.0);
+  size_t i = 0;
+  for (; i + w <= n; i += w) {
+    const typename P::Vec s =
+        seeds != nullptr ? P::Load(seeds + i) : no_seed;
+    P::Store(out + i, fn(P::Load(x + i), s));
+  }
+  if (i < n) {
+    double xbuf[w];
+    double sbuf[w] = {0.0};
+    for (size_t j = 0; j < w; ++j) xbuf[j] = pad_x;
+    for (size_t j = i; j < n; ++j) {
+      xbuf[j - i] = x[j];
+      if (seeds != nullptr) sbuf[j - i] = seeds[j];
+    }
+    typename P::Vec v = fn(P::Load(xbuf), P::Load(sbuf));
+    P::Store(xbuf, v);
+    for (size_t j = i; j < n; ++j) out[j] = xbuf[j - i];
+  }
+}
+
+}  // namespace
+
+size_t BatchKernelLanes() { return simd::kLanes; }
+
+const char* BatchKernelBackend() { return simd::BackendName(); }
+
+void BatchMarginalGainG(const double* r, double* out, size_t n) {
+  MapBatch2(
+      [](NativePack::Vec v, NativePack::Vec) {
+        return Kernels<NativePack>::MarginalGainG(v);
+      },
+      r, nullptr, /*pad_x=*/1.0, out, n);
+}
+
+void BatchInverseMarginalGainG(const double* y, const double* seeds,
+                               double* out, size_t n) {
+  MapBatch2(
+      [](NativePack::Vec v, NativePack::Vec s) {
+        return Kernels<NativePack>::InverseG(v, s);
+      },
+      y, seeds, /*pad_x=*/0.25, out, n);
+}
+
+void BatchInverseAgeMarginalKernelH(const double* y, const double* seeds,
+                                    double* out, size_t n) {
+  MapBatch2(
+      [](NativePack::Vec v, NativePack::Vec s) {
+        return Kernels<NativePack>::InverseH(v, s);
+      },
+      y, seeds, /*pad_x=*/0.25, out, n);
+}
+
+double RefMarginalGainG(double r) {
+  return Kernels<ScalarPack>::MarginalGainG(r);
+}
+
+double RefInverseMarginalGainG(double y, double seed) {
+  return Kernels<ScalarPack>::InverseG(y, seed);
+}
+
+double RefInverseAgeMarginalKernelH(double y, double seed) {
+  return Kernels<ScalarPack>::InverseH(y, seed);
+}
+
+}  // namespace freshen

@@ -1,0 +1,63 @@
+// Batched (SIMD) versions of the freshness-divergence kernels the
+// water-filling solvers invert in their inner loops: g(r), g^{-1}(y), and
+// h^{-1}(y) (see model/freshness.h for the math). These are the hot ~95% of
+// a large solve; the batch forms evaluate simd::kLanes elements per
+// iteration instead of one.
+//
+// Contracts:
+//   * Lane independence. Each output element depends only on its own
+//     (y, seed) pair — never on which lanes it shares a vector with — so
+//     batching boundaries (block size, shard plan, tails) cannot change
+//     values. This is what lets the solvers keep freshen::par's
+//     bit-identical-across-thread-counts guarantee.
+//   * Scalar reference equality. RefX(y, seed) runs the identical operation
+//     sequence on one lane; BatchX output is bit-identical to calling RefX
+//     per element (tests/simd_test.cc enforces it, tails included).
+//   * Seeds are hints only. A seed outside the kernel's safeguard bracket
+//     (or <= 0, the "no guess" convention) falls back to a cold analytic
+//     seed. Passing seeds == nullptr is the all-cold batch: the result is
+//     then a pure function of y — the property the multiplier search's
+//     canonical probes rely on.
+//
+// These deliberately do NOT replace the scalar routines in
+// model/freshness.h: those remain the simple, libm-based definitions that
+// the rest of the codebase (and the tests' independent oracle) use. The two
+// implementations agree to ~1e-12 relative; nothing may assume they agree
+// bitwise.
+#ifndef FRESHEN_MODEL_FRESHNESS_BATCH_H_
+#define FRESHEN_MODEL_FRESHNESS_BATCH_H_
+
+#include <cstddef>
+
+namespace freshen {
+
+/// Lane width of the batch kernels (1 on the portable scalar build).
+size_t BatchKernelLanes();
+
+/// Backend name: "avx512" | "avx2" | "neon" | "scalar".
+const char* BatchKernelBackend();
+
+/// out[i] = g(r[i]) for r[i] >= 0: the marginal-gain kernel
+/// g(r) = 1 - (1+r) e^{-r}. Bit-identical to RefMarginalGainG per element.
+void BatchMarginalGainG(const double* r, double* out, size_t n);
+
+/// out[i] = g^{-1}(y[i]) for y[i] in (0, 1). seeds may be nullptr (all
+/// cold) or point at n warm-start hints. Bit-identical to
+/// RefInverseMarginalGainG per element.
+void BatchInverseMarginalGainG(const double* y, const double* seeds,
+                               double* out, size_t n);
+
+/// out[i] = h^{-1}(y[i]) for y[i] > 0, where h(r) = r^2/2 - g(r) is the
+/// age-marginal kernel. Bit-identical to RefInverseAgeMarginalKernelH per
+/// element.
+void BatchInverseAgeMarginalKernelH(const double* y, const double* seeds,
+                                    double* out, size_t n);
+
+/// One-lane references running the exact batch operation sequence.
+double RefMarginalGainG(double r);
+double RefInverseMarginalGainG(double y, double seed);
+double RefInverseAgeMarginalKernelH(double y, double seed);
+
+}  // namespace freshen
+
+#endif  // FRESHEN_MODEL_FRESHNESS_BATCH_H_

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "model/freshness.h"
 #include "obs/trace.h"
+#include "opt/scan_breakpoint.h"
 #include "opt/solver_metrics.h"
 #include "stats/descriptive.h"
 
@@ -29,7 +30,7 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
   std::vector<size_t> index;         // Active k -> original i.
   std::vector<double> target_scale;  // c l^2 / w: h-target per unit of mu.
   std::vector<double> lambda;
-  std::vector<double> cost;
+  std::vector<double> spend_scale;  // c l: spend per unit of 1/root.
   index.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (problem.weights[i] > 0.0 && problem.change_rates[i] > 0.0) {
@@ -37,7 +38,7 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
       target_scale.push_back(problem.costs[i] * problem.change_rates[i] *
                              problem.change_rates[i] / problem.weights[i]);
       lambda.push_back(problem.change_rates[i]);
-      cost.push_back(problem.costs[i]);
+      spend_scale.push_back(problem.costs[i] * problem.change_rates[i]);
     }
   }
   const size_t active = index.size();
@@ -62,50 +63,24 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
     return out;
   }
 
-  // Previous Newton root per active element (see water_filling.cc).
-  std::vector<double> warm(active, 0.0);
-
-  auto frequency_at = [&](double mu, size_t k) {
-    const double y = std::max(mu * target_scale[k], 1e-300);
-    const double r = InverseAgeMarginalKernelH(y, warm[k]);
-    warm[k] = r;
-    return lambda[k] / r;
-  };
-
-  auto spend_at = [&](double mu) {
-    return exec.Sum(active,
-                    [&](size_t k) { return cost[k] * frequency_at(mu, k); });
-  };
+  // Sharded, SIMD-batched spend evaluation with warm-started kernel roots
+  // (see the matching comment in water_filling.cc).
+  BreakpointSpendEvaluator eval(BreakpointSpendEvaluator::Kernel::kAgeH,
+                                target_scale, lambda, spend_scale, &exec);
+  auto spend_at = [&](double mu) { return eval.SpendAt(mu); };
 
   // spend(mu) decreases from +inf (mu -> 0) to 0 (mu -> inf): unlike the
-  // freshness problem there is no finite mu_max, so bracket upward first.
-  double hi = 1.0;
-  while (spend_at(hi) > problem.bandwidth) {
-    hi *= 4.0;
-    FRESHEN_CHECK(hi < 1e300);
-  }
-  double lo = hi * 0.25;
-  while (spend_at(lo) <= problem.bandwidth) {
-    hi = lo;
-    lo *= 0.25;
-    FRESHEN_CHECK(lo > 0.0);
-  }
-
-  // Bisect until the multiplier interval collapses (see the matching
-  // comment in water_filling.cc: the spend alone does not pin mu).
-  int iterations = 0;
-  for (; iterations < options_.max_iterations; ++iterations) {
-    const double mid = 0.5 * (lo + hi);
-    if (spend_at(mid) > problem.bandwidth) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-    if ((hi - lo) <= 1e-15 * hi) break;
-  }
-  const double mu = 0.5 * (lo + hi);
+  // freshness problem there is no finite mu_max (mu_hi_hint = 0 brackets
+  // upward) and no activation thresholds (h is unbounded: no element is
+  // ever priced out, so there are no breakpoints to scan).
+  const GridSearchResult search = SolveMultiplierOnGrid(
+      spend_at, problem.bandwidth, /*mu_hi_hint=*/0.0, options_.search,
+      /*gather_thresholds=*/nullptr, options_.max_iterations);
+  const double mu = search.mu;
+  std::vector<double> frequencies(active);
+  eval.FillFrequenciesAt(mu, &frequencies);
   exec.ForEach(active, [&](size_t k) {
-    out.frequencies[index[k]] = frequency_at(mu, k);
+    out.frequencies[index[k]] = frequencies[k];
   });
   const double spend = problem.Spend(out.frequencies, &exec);
   if (spend > 0.0) {
@@ -114,7 +89,7 @@ Result<Allocation> AgeWaterFillingSolver::Solve(
   }
 
   out.multiplier = mu;
-  out.iterations = iterations;
+  out.iterations = search.probes;
   out.objective = weighted_age(out.frequencies);
   out.bandwidth_used = problem.Spend(out.frequencies, &exec);
   out.converged = true;

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "model/freshness.h"
+#include "model/freshness_batch.h"
 #include "obs/trace.h"
 
 namespace freshen {
@@ -83,13 +84,46 @@ KktReport VerifyKkt(const CoreProblem& problem, const Allocation& allocation,
     mu = sum / count;
   }
 
-  report.max_stationarity_violation = exec.Max(
-      n,
-      [&](size_t i) {
-        if (!eligible(i) || allocation.frequencies[i] <= 0.0) return 0.0;
-        return std::fabs(marginal(i) - mu) / mu;
-      },
-      0.0);
+  // Stationarity sweep: the one transcendental-per-element pass here, so it
+  // runs batched (model/freshness_batch.h) over a transcendental-sized
+  // shard plan. Deterministic: each element's violation is a pure function
+  // of its own row, and max is order-free.
+  {
+    const std::vector<par::Shard> plan = par::ShardPlanFor(
+        n, par::kTranscendentalGrain, par::kTranscendentalMaxShards);
+    std::vector<double> partial(plan.size(), 0.0);
+    exec.ForShards(plan, [&](const par::Shard& shard) {
+      constexpr size_t kBlock = 512;
+      double rate_over_f[kBlock];
+      double gain[kBlock];
+      double best = 0.0;
+      for (size_t b = shard.begin; b < shard.end; b += kBlock) {
+        const size_t m = std::min(kBlock, shard.end - b);
+        for (size_t j = 0; j < m; ++j) {
+          const size_t i = b + j;
+          const bool on = eligible(i) && allocation.frequencies[i] > 0.0;
+          rate_over_f[j] =
+              on ? problem.change_rates[i] / allocation.frequencies[i] : 1.0;
+        }
+        BatchMarginalGainG(rate_over_f, gain, m);
+        for (size_t j = 0; j < m; ++j) {
+          const size_t i = b + j;
+          if (!eligible(i) || allocation.frequencies[i] <= 0.0) continue;
+          // marginal = w * (g(l/f)/l) / c, as in `marginal` above but with
+          // the batched g.
+          const double value =
+              problem.weights[i] * gain[j] /
+              (problem.change_rates[i] * problem.costs[i]);
+          const double violation = std::fabs(value - mu) / mu;
+          if (violation > best) best = violation;
+        }
+      }
+      partial[shard.index] = best;
+    });
+    double best = 0.0;
+    for (double value : partial) best = std::max(best, value);
+    report.max_stationarity_violation = best;
+  }
   report.max_complementarity_violation = exec.Max(
       n,
       [&](size_t i) {

@@ -1,0 +1,283 @@
+#include "opt/scan_breakpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "model/freshness_batch.h"
+#include "stats/descriptive.h"
+
+namespace freshen {
+namespace {
+
+/// Elements per batch-kernel call: 4 KiB buffers, resident in L1 alongside
+/// the SoA streams.
+constexpr size_t kBlock = 512;
+
+/// Pad inputs for priced-out lanes (freshness kernel only): any mid-range
+/// target with a near-root seed, so dead lanes converge immediately instead
+/// of dragging their vector through cold iterations.
+constexpr double kPadTarget = 0.25;
+constexpr double kPadSeed = 0.85;  // ~ g^{-1}(0.25).
+
+/// Illinois works on phi = log((spend + eps*B) / ((1+eps)*B)): log-log
+/// secant (spend is near power-law in mu, so phi is near-linear in log mu)
+/// with an epsilon floor so a zero spend at the top of the bracket stays
+/// finite. Root location is exact: phi = 0 iff spend = B, for any eps.
+double Phi(double spend, double budget) {
+  constexpr double kEps = 0x1p-45;
+  return std::log((spend + kEps * budget) / ((1.0 + kEps) * budget));
+}
+
+}  // namespace
+
+BreakpointSpendEvaluator::BreakpointSpendEvaluator(
+    Kernel kernel, const std::vector<double>& target_scale,
+    const std::vector<double>& lambda, const std::vector<double>& spend_scale,
+    const par::Executor* exec)
+    : kernel_(kernel),
+      target_scale_(target_scale),
+      lambda_(lambda),
+      spend_scale_(spend_scale),
+      exec_(exec),
+      plan_(par::ShardPlanFor(target_scale.size(), par::kTranscendentalGrain,
+                              par::kTranscendentalMaxShards)),
+      warm_(target_scale.size(), 0.0) {
+  FRESHEN_CHECK(lambda_.size() == target_scale_.size());
+  FRESHEN_CHECK(spend_scale_.size() == target_scale_.size());
+}
+
+double BreakpointSpendEvaluator::SpendAt(double mu) {
+  const size_t n = target_scale_.size();
+  if (n == 0) return 0.0;
+  std::vector<double> partial(plan_.size(), 0.0);
+  exec_->ForShards(plan_, [&](const par::Shard& shard) {
+    KahanSum acc;
+    double target[kBlock];
+    double seed[kBlock];
+    double root[kBlock];
+    bool funded[kBlock];
+    for (size_t b = shard.begin; b < shard.end; b += kBlock) {
+      const size_t m = std::min(kBlock, shard.end - b);
+      if (kernel_ == Kernel::kFreshnessG) {
+        for (size_t j = 0; j < m; ++j) {
+          const double y = mu * target_scale_[b + j];
+          const bool f = y < 1.0;
+          funded[j] = f;
+          target[j] = f ? std::max(y, 1e-300) : kPadTarget;
+          seed[j] = f ? warm_[b + j] : kPadSeed;
+        }
+        BatchInverseMarginalGainG(target, seed, root, m);
+        for (size_t j = 0; j < m; ++j) {
+          if (funded[j]) {
+            // The warm root is per-element state: written only here, by the
+            // owning shard, as a function of the probe sequence alone.
+            warm_[b + j] = root[j];
+            acc.Add(spend_scale_[b + j] / root[j]);
+          } else {
+            acc.Add(0.0);  // Keep the summation tree independent of mu.
+          }
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          target[j] = std::max(mu * target_scale_[b + j], 1e-300);
+          seed[j] = warm_[b + j];
+        }
+        BatchInverseAgeMarginalKernelH(target, seed, root, m);
+        for (size_t j = 0; j < m; ++j) {
+          warm_[b + j] = root[j];
+          acc.Add(spend_scale_[b + j] / root[j]);
+        }
+      }
+    }
+    partial[shard.index] = acc.Total();
+  });
+  KahanSum total;
+  for (double value : partial) total.Add(value);
+  return total.Total();
+}
+
+void BreakpointSpendEvaluator::FillFrequenciesAt(
+    double mu, std::vector<double>* frequencies) const {
+  const size_t n = target_scale_.size();
+  frequencies->assign(n, 0.0);
+  exec_->ForShards(plan_, [&](const par::Shard& shard) {
+    double target[kBlock];
+    double root[kBlock];
+    bool funded[kBlock];
+    for (size_t b = shard.begin; b < shard.end; b += kBlock) {
+      const size_t m = std::min(kBlock, shard.end - b);
+      if (kernel_ == Kernel::kFreshnessG) {
+        for (size_t j = 0; j < m; ++j) {
+          const double y = mu * target_scale_[b + j];
+          funded[j] = y < 1.0;
+          target[j] = funded[j] ? std::max(y, 1e-300) : kPadTarget;
+        }
+        BatchInverseMarginalGainG(target, /*seeds=*/nullptr, root, m);
+        for (size_t j = 0; j < m; ++j) {
+          if (funded[j]) (*frequencies)[b + j] = lambda_[b + j] / root[j];
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          target[j] = std::max(mu * target_scale_[b + j], 1e-300);
+        }
+        BatchInverseAgeMarginalKernelH(target, /*seeds=*/nullptr, root, m);
+        for (size_t j = 0; j < m; ++j) {
+          (*frequencies)[b + j] = lambda_[b + j] / root[j];
+        }
+      }
+    }
+  });
+}
+
+GridSearchResult SolveMultiplierOnGrid(
+    const std::function<double(double)>& spend_at, double budget,
+    double mu_hi_hint, MultiplierSearch mode,
+    const std::function<void(double lo, double hi, std::vector<double>*)>*
+        gather_thresholds,
+    int max_probes) {
+  FRESHEN_CHECK(budget > 0.0);
+  GridSearchResult out;
+  auto probe = [&](double mu) {
+    ++out.probes;
+    return spend_at(mu);
+  };
+
+  // Upper edge: a lattice point with spend <= budget. The bracket phases
+  // ignore max_probes — they are bounded by the representable range of mu —
+  // so a valid (P, not-P) pair always exists before the cap can bite.
+  double hi;
+  double spend_hi;
+  if (mu_hi_hint > 0.0) {
+    hi = MuLatticeCeil(mu_hi_hint);
+    spend_hi = probe(hi);
+    while (spend_hi > budget) {  // Hint too low: escalate (defensive).
+      hi = MuLatticeCeil(hi * 2.0);
+      FRESHEN_CHECK(hi < 1e300);
+      spend_hi = probe(hi);
+    }
+  } else {
+    hi = 1.0;  // On-lattice; *4 is an exponent shift, so stays on-lattice.
+    spend_hi = probe(hi);
+    while (spend_hi > budget) {
+      hi *= 4.0;
+      FRESHEN_CHECK(hi < 1e300);
+      spend_hi = probe(hi);
+    }
+  }
+
+  // Lower edge: descend geometrically until spend exceeds budget (spend is
+  // unbounded as mu -> 0, so this terminates well before underflow).
+  double lo = 0.0;
+  double spend_lo = 0.0;
+  for (double x = hi;;) {
+    const double cand = MuLatticeFloor(x * 0.5);  // Halving is exact.
+    FRESHEN_CHECK(cand > 0.0);
+    const double s = probe(cand);
+    if (s > budget) {
+      lo = cand;
+      spend_lo = s;
+      break;
+    }
+    hi = cand;
+    spend_hi = s;
+    x = cand;
+  }
+
+  if (mode == MultiplierSearch::kBisectionOracle) {
+    // Plain lattice bisection: ~36 probes per bracket binade. This is the
+    // oracle path — structurally independent of everything below, yet lands
+    // on the same lattice edge because the flip is unique.
+    while (MuLatticeDistance(lo, hi) > 1 && out.probes < max_probes) {
+      const double mid = MuLatticeMidpoint(lo, hi);
+      if (probe(mid) > budget) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    out.mu = hi;
+    return out;
+  }
+
+  // Scan mode, stage 1: Illinois secant in (log mu, phi) space. Collapses
+  // the bracket to a few lattice steps in ~6-10 probes where bisection
+  // needs ~36 per binade.
+  double t_lo = std::log(lo);
+  double t_hi = std::log(hi);
+  double phi_lo = Phi(spend_lo, budget);
+  double phi_hi = Phi(spend_hi, budget);
+  int last_side = 0;  // -1: last probe replaced lo; +1: replaced hi.
+  while (MuLatticeDistance(lo, hi) > 8 && out.probes < max_probes) {
+    if (!(phi_lo > 0.0) || !(phi_hi < 0.0)) break;  // Flat side: bisect.
+    const double t =
+        t_lo - phi_lo * (t_hi - t_lo) / (phi_hi - phi_lo);
+    double cand = MuLatticeRound(std::exp(t));
+    const double inner_lo = MuLatticeNext(lo);
+    const double inner_hi = MuLatticePrev(hi);
+    if (!(cand >= inner_lo)) cand = inner_lo;
+    if (!(cand <= inner_hi)) cand = inner_hi;
+    const double s = probe(cand);
+    if (s > budget) {
+      lo = cand;
+      t_lo = std::log(cand);
+      phi_lo = Phi(s, budget);
+      if (last_side == -1) phi_hi *= 0.5;  // Illinois anti-stall halving.
+      last_side = -1;
+    } else {
+      hi = cand;
+      t_hi = std::log(cand);
+      phi_hi = Phi(s, budget);
+      if (last_side == +1) phi_lo *= 0.5;
+      last_side = +1;
+    }
+  }
+
+  // Stage 2: breakpoint scan. Pin the crossing between adjacent activation
+  // thresholds: gather every threshold inside the band, sort (this is the
+  // "sorted by activation threshold" order — only materialized for the
+  // handful of elements whose cutoff lies within a few lattice steps of
+  // mu*), and binary-search the flip over the thresholds' bracketing
+  // lattice points with full sharded spend evaluations.
+  if (gather_thresholds != nullptr && MuLatticeDistance(lo, hi) > 1) {
+    std::vector<double> band;
+    (*gather_thresholds)(lo, hi, &band);
+    std::sort(band.begin(), band.end());
+    std::vector<double> cands;
+    cands.reserve(2 * band.size());
+    for (double threshold : band) {
+      ++out.breakpoints;
+      for (double c : {MuLatticeFloor(threshold), MuLatticeCeil(threshold)}) {
+        if (c > lo && c < hi) cands.push_back(c);
+      }
+    }
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+    size_t a = 0;
+    size_t b = cands.size();
+    while (a < b && out.probes < max_probes) {
+      const size_t mid = (a + b) / 2;
+      if (probe(cands[mid]) > budget) {
+        lo = cands[mid];
+        a = mid + 1;
+      } else {
+        hi = cands[mid];
+        b = mid;
+      }
+    }
+  }
+
+  // Stage 3: finish with lattice bisection down to the adjacent pair.
+  while (MuLatticeDistance(lo, hi) > 1 && out.probes < max_probes) {
+    const double mid = MuLatticeMidpoint(lo, hi);
+    if (probe(mid) > budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.mu = hi;
+  return out;
+}
+
+}  // namespace freshen

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/timer.h"
-#include "model/freshness.h"
 #include "obs/trace.h"
 #include "opt/solver_metrics.h"
 #include "stats/descriptive.h"
@@ -27,12 +27,12 @@ Result<Allocation> KktWaterFillingSolver::Solve(
 
   // Active elements — positive weight and positive change rate (lambda = 0
   // is always fresh; weight 0 contributes nothing) — compacted into
-  // contiguous SoA arrays so the bisection's inner loop streams cache lines
-  // instead of chasing a sparse index set.
-  std::vector<size_t> index;   // Active k -> original i.
-  std::vector<double> ratio;   // c_i l_i / w_i: g-target per unit of mu.
-  std::vector<double> lambda;  // Change rate.
-  std::vector<double> cost;    // Bandwidth cost.
+  // contiguous SoA arrays so the search's batched inner loop streams cache
+  // lines instead of chasing a sparse index set.
+  std::vector<size_t> index;        // Active k -> original i.
+  std::vector<double> ratio;        // c_i l_i / w_i: g-target per unit of mu.
+  std::vector<double> lambda;       // Change rate.
+  std::vector<double> spend_scale;  // c_i l_i: spend per unit of 1/root.
   index.reserve(n);
   double mu_max = 0.0;
   for (size_t i = 0; i < n; ++i) {
@@ -41,7 +41,7 @@ Result<Allocation> KktWaterFillingSolver::Solve(
       ratio.push_back(problem.costs[i] * problem.change_rates[i] /
                       problem.weights[i]);
       lambda.push_back(problem.change_rates[i]);
-      cost.push_back(problem.costs[i]);
+      spend_scale.push_back(problem.costs[i] * problem.change_rates[i]);
       mu_max = std::max(mu_max, 1.0 / ratio.back());
     }
   }
@@ -60,61 +60,40 @@ Result<Allocation> KktWaterFillingSolver::Solve(
     return out;
   }
 
-  // Previous Newton root per active element; 0 = no guess yet. The bisection
-  // re-inverts g at every probe, and consecutive probes move mu by at most
-  // the shrinking bracket width, so the last root is an excellent seed.
-  // Written only by the element's own shard — deterministic at any thread
-  // count because the probe sequence is (see spend_at below).
-  std::vector<double> warm(active, 0.0);
-
-  // Frequency of active element k at multiplier mu (0 when mu prices the
-  // element out of the schedule).
-  auto frequency_at = [&](double mu, size_t k) {
-    double y = mu * ratio[k];
-    if (y >= 1.0) return 0.0;  // Marginal value below mu even at f -> 0+.
-    y = std::max(y, 1e-300);   // Guard underflow; maps to an enormous f.
-    const double r = InverseMarginalGainG(y, warm[k]);
-    warm[k] = r;
-    return lambda[k] / r;
-  };
-
-  // Deterministic sharded reduction: bit-identical at every thread count,
-  // so the bisection takes the same branch sequence whether this solver
+  // Sharded, SIMD-batched spend evaluation over the compacted set, with
+  // per-element warm-started kernel roots. Bit-identical at every thread
+  // count, so the search takes the same probe sequence whether this solver
   // runs on 1 thread or 8.
-  auto spend_at = [&](double mu) {
-    return exec.Sum(active,
-                    [&](size_t k) { return cost[k] * frequency_at(mu, k); });
-  };
+  BreakpointSpendEvaluator eval(BreakpointSpendEvaluator::Kernel::kFreshnessG,
+                                ratio, lambda, spend_scale, &exec);
+  auto spend_at = [&](double mu) { return eval.SpendAt(mu); };
 
-  // spend(mu) decreases from +inf (mu -> 0) to 0 (mu = mu_max). Find the
-  // bracket's lower edge, then bisect.
-  double hi = mu_max;
-  double lo = mu_max * 0.5;
-  while (spend_at(lo) <= problem.bandwidth) {
-    hi = lo;
-    lo *= 0.5;
-    FRESHEN_CHECK(lo > 0.0);  // spend -> inf as mu -> 0; must bracket.
-  }
+  // Activation thresholds inside a band: element k leaves the schedule at
+  // mu = 1/ratio[k] (its marginal value at f -> 0+).
+  std::function<void(double, double, std::vector<double>*)> gather =
+      [&](double lo, double hi, std::vector<double>* band) {
+        for (size_t k = 0; k < active; ++k) {
+          const double threshold = 1.0 / ratio[k];
+          if (threshold > lo && threshold < hi) band->push_back(threshold);
+        }
+      };
 
-  // Bisect until the multiplier interval itself collapses: matching the
-  // budget alone is NOT enough to pin mu (near-cutoff elements make f(mu)
-  // arbitrarily sensitive, so a loosely-resolved mu reproduces the spend
-  // while distorting the allocation mix).
-  int iterations = 0;
-  for (; iterations < options_.max_iterations; ++iterations) {
-    const double mid = 0.5 * (lo + hi);
-    if (spend_at(mid) > problem.bandwidth) {
-      lo = mid;  // Spending too much: raise the price.
-    } else {
-      hi = mid;
-    }
-    if ((hi - lo) <= 1e-15 * hi) break;
-  }
-  // Evaluate at the under-spending edge of the final interval so the
-  // residual is non-negative.
-  const double mu = hi;
+  // spend(mu) decreases from +inf (mu -> 0) to 0 (mu = mu_max): find the
+  // unique lattice flip. Matching the budget alone would NOT pin mu
+  // (near-cutoff elements make f(mu) arbitrarily sensitive, so a
+  // loosely-resolved mu reproduces the spend while distorting the
+  // allocation mix); the lattice edge is exact and search-path-free.
+  const GridSearchResult search = SolveMultiplierOnGrid(
+      spend_at, problem.bandwidth, mu_max, options_.search, &gather,
+      options_.max_iterations);
+  // mu is the under-spending lattice edge, so the residual is non-negative.
+  const double mu = search.mu;
+  // Cold-started fill: a pure function of mu, byte-identical regardless of
+  // which probe path (or search mode) found it.
+  std::vector<double> frequencies(active);
+  eval.FillFrequenciesAt(mu, &frequencies);
   exec.ForEach(active, [&](size_t k) {
-    out.frequencies[index[k]] = frequency_at(mu, k);
+    out.frequencies[index[k]] = frequencies[k];
   });
   // Remove the residual budget slack. spend(mu) is continuous in exact
   // arithmetic but jumps at funding cutoffs in floating point (f tends to 0
@@ -152,7 +131,7 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   }
 
   out.multiplier = mu;
-  out.iterations = iterations;
+  out.iterations = search.probes;
   out.objective = problem.Objective(out.frequencies, &exec);
   out.bandwidth_used = problem.Spend(out.frequencies, &exec);
   out.converged = true;

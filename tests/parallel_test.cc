@@ -3,9 +3,11 @@
 // and reductions are bit-identical at every thread count. These tests run
 // under `ctest -L tsan` in a FRESHEN_SANITIZE=thread build.
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -75,6 +77,63 @@ TEST(ShardPlanTest, ShardCountIsCapped) {
   EXPECT_EQ(ShardCount(size_t{1} << 40), kMaxShards);
 }
 
+TEST(ShardPlanForTest, HonorsGrainAndCap) {
+  // The parameterized sizing behind the transcendental plans.
+  EXPECT_EQ(ShardCountFor(0, 1024, 512), 0u);
+  EXPECT_EQ(ShardCountFor(1, 1024, 512), 1u);
+  EXPECT_EQ(ShardCountFor(1024, 1024, 512), 1u);
+  EXPECT_EQ(ShardCountFor(2048, 1024, 512), 2u);
+  EXPECT_EQ(ShardCountFor(size_t{1} << 40, 1024, 512), 512u);
+  for (size_t n : {size_t{1}, size_t{1023}, size_t{4097}, size_t{100003},
+                   size_t{2000000}}) {
+    const std::vector<Shard> plan =
+        ShardPlanFor(n, kTranscendentalGrain, kTranscendentalMaxShards);
+    ASSERT_EQ(plan.size(), ShardCountFor(n, kTranscendentalGrain,
+                                         kTranscendentalMaxShards));
+    size_t expected_begin = 0;
+    size_t previous_size = n + 1;
+    for (size_t s = 0; s < plan.size(); ++s) {
+      EXPECT_EQ(plan[s].index, s) << "n=" << n;
+      EXPECT_EQ(plan[s].begin, expected_begin) << "n=" << n;
+      EXPECT_LT(plan[s].begin, plan[s].end) << "n=" << n;
+      // Even split, larger shards first, sizes differ by at most one.
+      EXPECT_LE(plan[s].size(), previous_size) << "n=" << n;
+      EXPECT_LE(plan.front().size() - plan[s].size(), 1u) << "n=" << n;
+      previous_size = plan[s].size();
+      expected_begin = plan[s].end;
+    }
+    EXPECT_EQ(plan.back().end, n);
+  }
+}
+
+TEST(ShardPlanForTest, DefaultPlanIsTheDelegate) {
+  // ShardPlan/ShardCount must stay exactly ShardPlanFor/ShardCountFor under
+  // the default sizing — existing reductions' summation trees depend on it.
+  for (size_t n : {size_t{0}, size_t{1}, kShardGrain, size_t{100000},
+                   size_t{1} << 30}) {
+    EXPECT_EQ(ShardCount(n), ShardCountFor(n, kShardGrain, kMaxShards));
+    const std::vector<Shard> a = ShardPlan(n);
+    const std::vector<Shard> b = ShardPlanFor(n, kShardGrain, kMaxShards);
+    ASSERT_EQ(a.size(), b.size()) << "n=" << n;
+    for (size_t s = 0; s < a.size(); ++s) {
+      EXPECT_EQ(a[s].begin, b[s].begin);
+      EXPECT_EQ(a[s].end, b[s].end);
+    }
+  }
+}
+
+TEST(ShardPlanForTest, TranscendentalSizingLiftsTheDefaultCap) {
+  // Multi-million-element transcendental loops must fan out past the
+  // memory-bound 64-shard cap (the old cap left 8 workers with ~32k-element
+  // shards at N=2M and nothing to steal).
+  EXPECT_GT(ShardCountFor(2000000, kTranscendentalGrain,
+                          kTranscendentalMaxShards),
+            kMaxShards);
+  EXPECT_EQ(ShardCountFor(size_t{10000000}, kTranscendentalGrain,
+                          kTranscendentalMaxShards),
+            kTranscendentalMaxShards);
+}
+
 TEST(ShardPlanTest, ShardIndexOfMatchesPlan) {
   for (size_t n : {size_t{1}, size_t{4096}, size_t{4097}, size_t{50000},
                    size_t{300000}}) {
@@ -123,6 +182,35 @@ TEST(ExecutorTest, ForShardsVisitsEveryShardExactlyOnce) {
       EXPECT_EQ(visits[s].load(), 1) << "threads=" << threads << " s=" << s;
     }
   }
+}
+
+TEST(ExecutorTest, AddingThreadsNeverSerializesShards) {
+  // Regression test for the silent-serialization failure mode: a pool that
+  // degrades to inline execution (queue overflow, worker starvation) keeps
+  // every value test green — the determinism contract makes values
+  // thread-count-independent — while quietly running shards one after
+  // another. Two shards rendezvous here: each notes how many shards are in
+  // flight at once and waits to observe a peak of 2. Serialized execution
+  // caps the peak at 1 and the test fails after the deadline.
+  const std::vector<Shard> plan = {Shard{0, 0, 1}, Shard{1, 1, 2}};
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  Executor(2).ForShards(plan, [&](const Shard&) {
+    const int now = in_flight.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (peak.load() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    in_flight.fetch_sub(1);
+  });
+  EXPECT_GE(peak.load(), 2)
+      << "two shards under a 2-thread executor never overlapped: the "
+         "region ran serialized";
 }
 
 TEST(ExecutorTest, SumIsBitIdenticalAcrossThreadCounts) {
