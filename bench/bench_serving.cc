@@ -1,0 +1,413 @@
+// Serving-path benchmark for the freshend daemon: is snapshot isolation
+// actually free for readers, and does the binary catalog pay for itself?
+//
+// Part 1 — catalog load: the same catalog is written as CSV and as a
+// FRSHCAT1 binary file, then loaded (median of 3) through the text parser
+// and through MmapCatalog::Open (mmap + CRC validation, zero copies). The
+// full-size run gates the binary path at >= 10x the CSV parse; the quick
+// run records the ratio without gating (fixed open/validate overheads
+// dominate at shrunk sizes).
+//
+// Part 2 — query latency under churn: a FreshendDaemon hosts the catalog
+// while its online loop replans and syncs through a fault-injecting
+// executor; reader threads issue IsFresh/ExpectedAge/GetPlan against
+// Zipf-distributed element ids at a sweep of target rates (closed loop,
+// per-op latency measured over 16-query batches to keep clock overhead out
+// of the tails). Every reader periodically pins a snapshot and recomputes
+// its digests; a single inconsistent read fails the bench on any hardware.
+// The p99 < 10x p50 tail gate is enforced on machines with >= 4 hardware
+// threads — on narrower machines readers share a core with the publisher
+// and the tail measures scheduler preemption, not the serving path (same
+// hardware-gating convention as bench_solver_scaling).
+//
+// Results land in BENCH_serving.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "common/timer.h"
+#include "io/catalog_binary.h"
+#include "io/catalog_io.h"
+#include "obs/metrics.h"
+#include "rng/zipf.h"
+#include "serve/daemon.h"
+#include "sync/executor.h"
+#include "sync/source.h"
+
+namespace {
+
+using namespace freshen;
+
+constexpr int kBatch = 16;  // Queries per timed batch.
+
+struct LoadResult {
+  size_t n = 0;
+  double csv_seconds = 0.0;
+  double mmap_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+struct PhaseResult {
+  double target_qps = 0.0;  // 0 = unthrottled.
+  double achieved_qps = 0.0;
+  uint64_t queries = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double ratio = 0.0;  // p99 / p50.
+  uint64_t consistency_checks = 0;
+  uint64_t inconsistent = 0;
+};
+
+double MedianOf3(double a, double b, double c) {
+  double s[3] = {a, b, c};
+  std::sort(s, s + 3);
+  return s[1];
+}
+
+template <typename Fn>
+double MedianSeconds(Fn&& fn) {
+  double s[3];
+  for (double& v : s) {
+    WallTimer timer;
+    fn();
+    v = timer.ElapsedSeconds();
+  }
+  return MedianOf3(s[0], s[1], s[2]);
+}
+
+LoadResult BenchCatalogLoad(const ElementSet& catalog) {
+  const std::string csv_path = "bench_serving_catalog.csv";
+  const std::string bin_path = "bench_serving_catalog.fcat";
+  if (const Status saved = SaveCatalogCsv(catalog, csv_path); !saved.ok()) {
+    std::fprintf(stderr, "save csv: %s\n", saved.ToString().c_str());
+    std::abort();
+  }
+  if (const Status saved = SaveCatalogBinary(catalog, bin_path);
+      !saved.ok()) {
+    std::fprintf(stderr, "save binary: %s\n", saved.ToString().c_str());
+    std::abort();
+  }
+
+  LoadResult result;
+  result.n = catalog.size();
+  // Warm both files into the page cache so the comparison is parse cost,
+  // not first-touch disk latency.
+  (void)ReadFileToString(csv_path).value();
+  (void)ReadFileToString(bin_path).value();
+
+  size_t csv_elements = 0;
+  result.csv_seconds = MedianSeconds([&] {
+    csv_elements = LoadCatalogCsv(csv_path).value().size();
+  });
+  size_t mmap_elements = 0;
+  result.mmap_seconds = MedianSeconds([&] {
+    MmapCatalog mapped = MmapCatalog::Open(bin_path).value();
+    mmap_elements = mapped.size();
+    // Touch one element per column so the mapping is demonstrably usable.
+    volatile double sink = mapped.change_rates()[mapped.size() - 1] +
+                           mapped.access_probs()[0] + mapped.sizes()[0];
+    (void)sink;
+  });
+  if (csv_elements != catalog.size() || mmap_elements != catalog.size()) {
+    std::fprintf(stderr, "load size mismatch\n");
+    std::abort();
+  }
+  result.speedup =
+      result.mmap_seconds > 0.0 ? result.csv_seconds / result.mmap_seconds
+                                : 0.0;
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+  return result;
+}
+
+// One closed-loop measurement phase against a running daemon.
+PhaseResult RunPhase(serve::FreshendDaemon* daemon, double target_qps,
+                     double duration_seconds, int readers, double theta) {
+  const size_t n = daemon->size();
+  const std::vector<double> probabilities = ZipfProbabilities(n, theta);
+
+  std::atomic<uint64_t> inconsistent{0};
+  std::atomic<uint64_t> checks{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::vector<double>> latencies(readers);  // Seconds per op.
+  const double per_reader_qps =
+      target_qps > 0.0 ? target_qps / readers : 0.0;
+
+  std::vector<std::thread> threads;
+  WallTimer phase_timer;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      std::mt19937_64 rng(0xF5E5Du + static_cast<uint64_t>(r));
+      std::discrete_distribution<size_t> zipf(probabilities.begin(),
+                                              probabilities.end());
+      std::vector<double>& samples = latencies[r];
+      samples.reserve(1 << 16);
+      WallTimer reader_timer;
+      uint64_t issued = 0;
+      while (reader_timer.ElapsedSeconds() < duration_seconds) {
+        WallTimer batch_timer;
+        for (int q = 0; q < kBatch; ++q) {
+          const size_t id = zipf(rng);
+          bool ok = true;
+          switch ((issued + q) % 3) {
+            case 0: ok = daemon->IsFresh(id).ok(); break;
+            case 1: ok = daemon->ExpectedAge(id).ok(); break;
+            default: ok = daemon->GetPlan(id).ok(); break;
+          }
+          if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        samples.push_back(batch_timer.ElapsedSeconds() / kBatch);
+        issued += kBatch;
+        // Sampled reader-side verification: pin a snapshot and recompute
+        // its per-shard digests (torn publication => digest mismatch).
+        if (samples.size() % 512 == 0) {
+          serve::SnapshotRef snapshot = daemon->AcquireSnapshot();
+          checks.fetch_add(1, std::memory_order_relaxed);
+          if (snapshot && !snapshot->CheckConsistent()) {
+            inconsistent.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (per_reader_qps > 0.0) {
+          const double ahead = static_cast<double>(issued) / per_reader_qps -
+                               reader_timer.ElapsedSeconds();
+          // Coalesce pacing sleeps to >= 2 ms: sleeping after every batch
+          // would charge a scheduler wakeup to the next batch's latency,
+          // polluting the tail with throttle jitter instead of serving
+          // behavior.
+          if (ahead > 0.002) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(ahead));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = phase_timer.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (const std::vector<double>& v : latencies) {
+    merged.insert(merged.end(), v.begin(), v.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  PhaseResult result;
+  result.target_qps = target_qps;
+  result.queries = static_cast<uint64_t>(merged.size()) * kBatch;
+  result.achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(result.queries) / elapsed : 0.0;
+  if (!merged.empty()) {
+    result.p50_us = merged[merged.size() / 2] * 1e6;
+    result.p99_us = merged[(merged.size() * 99) / 100] * 1e6;
+    result.ratio =
+        result.p50_us > 0.0 ? result.p99_us / result.p50_us : 0.0;
+  }
+  result.consistency_checks = checks.load();
+  result.inconsistent = inconsistent.load() + failures.load();
+  return result;
+}
+
+// Approximate p99 from histogram buckets: the upper bound of the first
+// bucket whose cumulative count crosses 99%.
+double ApproxP99(const obs::MetricSample& sample) {
+  if (sample.count == 0) return 0.0;
+  const uint64_t threshold =
+      (sample.count * 99 + 99) / 100;  // ceil(0.99 * count).
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+    cumulative += sample.bucket_counts[i];
+    if (cumulative >= threshold) {
+      return i < sample.bounds.size() ? sample.bounds[i]
+                                      : sample.bounds.back();
+    }
+  }
+  return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+}
+
+void WriteJson(const LoadResult& load, const std::vector<PhaseResult>& phases,
+               int readers, double theta, uint64_t publications,
+               double publish_mean, double publish_p99, bool tail_gated,
+               const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file, "{\n  \"hardware_threads\": %zu,\n",
+               par::HardwareThreads());
+  std::fprintf(file,
+               "  \"catalog_load\": {\"n\": %zu, \"csv_seconds\": %.6f, "
+               "\"mmap_seconds\": %.6f, \"mmap_speedup\": %.2f},\n",
+               load.n, load.csv_seconds, load.mmap_seconds, load.speedup);
+  std::fprintf(file,
+               "  \"serving\": {\"readers\": %d, \"zipf_theta\": %.2f, "
+               "\"tail_gate_enforced\": %s, \"phases\": [\n",
+               readers, theta, tail_gated ? "true" : "false");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    std::fprintf(file,
+                 "    {\"target_qps\": %.0f, \"achieved_qps\": %.0f, "
+                 "\"queries\": %llu, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                 "\"p99_over_p50\": %.2f, \"consistency_checks\": %llu, "
+                 "\"inconsistent_reads\": %llu}%s\n",
+                 p.target_qps, p.achieved_qps,
+                 (unsigned long long)p.queries, p.p50_us, p.p99_us, p.ratio,
+                 (unsigned long long)p.consistency_checks,
+                 (unsigned long long)p.inconsistent,
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "  ]},\n  \"publications\": {\"count\": %llu, "
+               "\"mean_seconds\": %.6f, \"approx_p99_seconds\": %.6f}\n}\n",
+               (unsigned long long)publications, publish_mean, publish_p99);
+  std::fclose(file);
+  std::printf("wrote BENCH_serving.json\n");
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::QuickMode();
+  const size_t hardware_threads = par::HardwareThreads();
+  const size_t n = quick ? 100000 : 1000000;
+  const double theta = 0.9;
+
+  std::printf("== freshend serving bench (N = %zu, %zu hardware threads) ==\n",
+              n, hardware_threads);
+
+  ExperimentSpec spec;
+  spec.num_objects = n;
+  spec.theta = theta;
+  spec.size_model = SizeModel::kPareto;
+  spec.seed = 20030305;
+  const ElementSet catalog = bench::MustCatalog(spec);
+
+  // ---- Part 1: CSV parse vs binary mmap --------------------------------
+  const LoadResult load = BenchCatalogLoad(catalog);
+  std::printf(
+      "catalog load (median of 3, warm cache):\n"
+      "  csv parse : %.4f s\n  mmap load : %.4f s\n  speedup   : %.1fx\n\n",
+      load.csv_seconds, load.mmap_seconds, load.speedup);
+  bool gate_failed = false;
+  if (!quick && load.speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: mmap load %.1fx < 10x CSV parse at N=%zu\n",
+                 load.speedup, load.n);
+    gate_failed = true;
+  }
+
+  // ---- Part 2: query latency under publication churn -------------------
+  obs::MetricsRegistry registry;
+  sync::SimulatedSource::Options source_options;
+  source_options.error_rate = 0.2;
+  source_options.stall_rate = 0.05;
+  source_options.seed = 99;
+  sync::SimulatedSource faulty =
+      sync::SimulatedSource::Create(source_options).value();
+  sync::SyncExecutor::Options executor_options;
+  executor_options.registry = &registry;
+  executor_options.seed = 100;
+  auto executor =
+      sync::SyncExecutor::Create(&faulty, executor_options).value();
+
+  serve::FreshendDaemon::Options options;
+  options.loop.accesses_per_period = 2000.0;
+  options.loop.seed = 13;
+  options.loop.registry = &registry;
+  options.loop.executor = executor.get();
+  options.loop.controller.replan_every_periods = 4.0;
+  options.period_seconds = 0.02;  // Publication churn during measurement.
+  options.max_periods = 0;        // Runs until Stop().
+  options.registry = &registry;
+  auto daemon = serve::FreshendDaemon::Create(
+                    catalog, 0.02 * static_cast<double>(n), options)
+                    .value();
+  if (const Status started = daemon->Start(); !started.ok()) {
+    std::fprintf(stderr, "daemon start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  const int readers =
+      static_cast<int>(std::min<size_t>(4, std::max<size_t>(2, hardware_threads)));
+  const double phase_seconds = quick ? 0.5 : 2.0;
+  const std::vector<double> rates =
+      quick ? std::vector<double>{20000.0, 0.0}
+            : std::vector<double>{50000.0, 200000.0, 0.0};
+
+  TableWriter table({"target qps", "achieved qps", "p50 us", "p99 us",
+                     "p99/p50", "checks", "inconsistent"});
+  std::vector<PhaseResult> phases;
+  for (double rate : rates) {
+    const PhaseResult phase =
+        RunPhase(daemon.get(), rate, phase_seconds, readers, theta);
+    table.AddRow({rate > 0.0 ? StrFormat("%.0f", rate) : "max",
+                  StrFormat("%.0f", phase.achieved_qps),
+                  FormatDouble(phase.p50_us, 3),
+                  FormatDouble(phase.p99_us, 3),
+                  StrFormat("%.2fx", phase.ratio),
+                  StrFormat("%llu", (unsigned long long)phase.consistency_checks),
+                  StrFormat("%llu", (unsigned long long)phase.inconsistent)});
+    phases.push_back(phase);
+  }
+  daemon->Stop();
+
+  const serve::DaemonStats stats = daemon->Stats();
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  const obs::MetricSample* publish =
+      snapshot.Find("freshen_serve_publish_seconds");
+  const double publish_mean =
+      (publish != nullptr && publish->count > 0)
+          ? publish->sum / static_cast<double>(publish->count)
+          : 0.0;
+  const double publish_p99 = publish != nullptr ? ApproxP99(*publish) : 0.0;
+
+  std::printf("%zu readers, Zipf(%.1f) keys, %.1f s per phase:\n%s\n",
+              (size_t)readers, theta, phase_seconds,
+              table.ToText().c_str());
+  std::printf(
+      "publications: %llu over %llu periods (mean %.4f s, ~p99 %.4f s "
+      "per publication)\n",
+      (unsigned long long)stats.store.publications,
+      (unsigned long long)stats.periods, publish_mean, publish_p99);
+
+  // Gates. Torn or failed reads fail the bench anywhere; the tail-latency
+  // gate needs enough cores that readers are not timesharing with the
+  // publisher thread.
+  const bool tail_gated = hardware_threads >= 4;
+  uint64_t total_inconsistent = 0;
+  for (const PhaseResult& phase : phases) {
+    total_inconsistent += phase.inconsistent;
+    if (tail_gated && phase.ratio >= 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: p99 %.3f us >= 10x p50 %.3f us (target qps %.0f)\n",
+                   phase.p99_us, phase.p50_us, phase.target_qps);
+      gate_failed = true;
+    }
+  }
+  if (total_inconsistent != 0) {
+    std::fprintf(stderr, "FAIL: %llu inconsistent reads\n",
+                 (unsigned long long)total_inconsistent);
+    gate_failed = true;
+  }
+  if (!tail_gated) {
+    std::printf(
+        "note: %zu hardware thread(s) < 4 -- readers timeshare with the "
+        "publisher, so the\np99 < 10x p50 gate is recorded but not "
+        "enforced on this machine.\n",
+        hardware_threads);
+  }
+
+  WriteJson(load, phases, readers, theta, stats.store.publications,
+            publish_mean, publish_p99, tail_gated, "BENCH_serving.json");
+  return gate_failed ? 1 : 0;
+}

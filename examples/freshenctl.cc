@@ -44,6 +44,22 @@
 //       offenders and the fresh-access SLO. Defaults shrink under
 //       FRESHEN_QUICK=1. --trace-out defaults to freshen_trace.json here.
 //
+//   convert --in FILE --out FILE [--to csv|binary]
+//       Convert a catalog between CSV and the FRSHCAT1 binary format
+//       (io/catalog_binary.h). The input format is auto-detected; --to
+//       defaults to the opposite of the input.
+//
+//   serve-drill [--objects N] [--bandwidth B] [--periods P] [--accesses A]
+//               [--error-rate E] [--socket PATH] [--seed K]
+//       End-to-end drill of the freshend serving stack: start a
+//       FreshendDaemon with a fault-injecting executor, serve the line
+//       protocol on a UNIX socket, fire ISFRESH/AGE/PLAN/STATS queries over
+//       the socket while the loop churns, then drain gracefully and verify
+//       every pinned snapshot was internally consistent.
+//
+// plan and eval accept --catalog-format csv|binary|auto (default auto:
+// binary when the file carries the FRSHCAT1 magic, CSV otherwise).
+//
 // Any command accepts --metrics-out FILE and --metrics-format json|prom|csv:
 // after the command runs, the registry snapshot is written to FILE (the
 // `metrics` command prints to stdout when --metrics-out is omitted). Flags
@@ -61,6 +77,12 @@
 //   freshenctl gen --objects 1000 --theta 1.2 --out catalog.csv
 //   freshenctl plan --catalog catalog.csv --bandwidth 500 --partitions 50
 //       --kmeans 5 --out schedule.csv     (one command line)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -73,7 +95,11 @@
 #include "common/string_util.h"
 #include "common/table_writer.h"
 #include "freshen/freshen.h"
+#include "io/catalog_binary.h"
 #include "io/catalog_io.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -151,6 +177,19 @@ void SimulateTimeline(const ElementSet& catalog,
                       const std::map<std::string, std::string>& flags,
                       const std::string& out);
 
+// Loads a catalog honoring --catalog-format (csv | binary | auto).
+ElementSet LoadCatalogFlagged(const std::map<std::string, std::string>& flags,
+                              const std::string& path) {
+  const std::string format = GetFlag(flags, "--catalog-format", "auto");
+  if (format == "csv") return Unwrap(LoadCatalogCsv(path));
+  if (format == "binary") return Unwrap(LoadCatalogBinary(path));
+  if (format == "auto") {
+    return LooksLikeBinaryCatalog(path) ? Unwrap(LoadCatalogBinary(path))
+                                        : Unwrap(LoadCatalogCsv(path));
+  }
+  Die(Status::InvalidArgument("unknown --catalog-format " + format));
+}
+
 int RunGen(const std::map<std::string, std::string>& flags) {
   ExperimentSpec spec;
   spec.num_objects = static_cast<size_t>(GetDouble(flags, "--objects", 500));
@@ -191,7 +230,7 @@ int RunPlan(const std::map<std::string, std::string>& flags) {
   const std::string path = GetFlag(flags, "--catalog", "");
   if (path.empty()) Die(Status::InvalidArgument("--catalog is required"));
   const double bandwidth = GetDouble(flags, "--bandwidth", 0.0);
-  const ElementSet catalog = Unwrap(LoadCatalogCsv(path));
+  const ElementSet catalog = LoadCatalogFlagged(flags, path);
 
   const std::string technique = GetFlag(flags, "--technique", "pf");
   std::vector<double> frequencies;
@@ -254,7 +293,7 @@ int RunEval(const std::map<std::string, std::string>& flags) {
   const std::string path = GetFlag(flags, "--catalog", "");
   if (path.empty()) Die(Status::InvalidArgument("--catalog is required"));
   const double bandwidth = GetDouble(flags, "--bandwidth", 0.0);
-  const ElementSet catalog = Unwrap(LoadCatalogCsv(path));
+  const ElementSet catalog = LoadCatalogFlagged(flags, path);
 
   PlannerOptions gf_options;
   gf_options.technique = Technique::kGeneral;
@@ -650,13 +689,177 @@ int RunTrace(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int RunConvert(const std::map<std::string, std::string>& flags) {
+  const std::string in = GetFlag(flags, "--in", "");
+  const std::string out = GetFlag(flags, "--out", "");
+  if (in.empty() || out.empty()) {
+    Die(Status::InvalidArgument("convert requires --in and --out"));
+  }
+  const bool in_binary = LooksLikeBinaryCatalog(in);
+  const ElementSet catalog =
+      in_binary ? Unwrap(LoadCatalogBinary(in)) : Unwrap(LoadCatalogCsv(in));
+  const std::string to =
+      GetFlag(flags, "--to", in_binary ? "csv" : "binary");
+  Status status = Status::OK();
+  if (to == "binary") {
+    status = SaveCatalogBinary(catalog, out);
+  } else if (to == "csv") {
+    status = SaveCatalogCsv(catalog, out);
+  } else {
+    Die(Status::InvalidArgument("unknown --to " + to +
+                                " (expected csv or binary)"));
+  }
+  if (!status.ok()) Die(status);
+  std::printf("converted        : %s (%s) -> %s (%s), %zu elements\n",
+              in.c_str(), in_binary ? "binary" : "csv", out.c_str(),
+              to.c_str(), catalog.size());
+  return 0;
+}
+
+// One line-protocol exchange over a connected socket: writes `request`
+// (adding the newline) and reads one response line.
+bool SocketExchange(int fd, const std::string& request,
+                    std::string* response) {
+  std::string out = request;
+  out.push_back('\n');
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  response->clear();
+  char ch;
+  for (;;) {
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    if (ch == '\n') return true;
+    response->push_back(ch);
+  }
+}
+
+int RunServeDrill(const std::map<std::string, std::string>& flags) {
+  const bool quick = QuickMode();
+  ExperimentSpec spec;
+  spec.num_objects =
+      static_cast<size_t>(GetDouble(flags, "--objects", quick ? 64 : 200));
+  spec.theta = GetDouble(flags, "--theta", 1.0);
+  spec.seed = static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+  const ElementSet truth = Unwrap(GenerateCatalog(spec));
+  const double bandwidth = GetDouble(
+      flags, "--bandwidth", 0.25 * static_cast<double>(spec.num_objects));
+  const uint64_t periods =
+      static_cast<uint64_t>(GetDouble(flags, "--periods", quick ? 4 : 8));
+
+  // Faulty executor so the drill exercises the publication path under
+  // failed/late syncs, same shape as sync-drill's pass 3.
+  sync::SimulatedSource::Options source_options;
+  source_options.error_rate = GetDouble(flags, "--error-rate", 0.3);
+  source_options.stall_rate = GetDouble(flags, "--stall-rate", 0.05);
+  source_options.seed = spec.seed ^ 0x647268ULL;
+  sync::SimulatedSource faulty =
+      Unwrap(sync::SimulatedSource::Create(source_options));
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  sync::SyncExecutor::Options executor_options;
+  executor_options.seed = spec.seed ^ 0x73796eULL;
+  executor_options.registry = &global;
+  auto executor =
+      Unwrap(sync::SyncExecutor::Create(&faulty, executor_options));
+
+  serve::FreshendDaemon::Options options;
+  options.loop.accesses_per_period =
+      GetDouble(flags, "--accesses", quick ? 200.0 : 1000.0);
+  options.loop.seed = spec.seed ^ 0x6f6c6fULL;
+  options.loop.registry = &global;
+  options.loop.executor = executor.get();
+  options.max_periods = periods;
+  options.registry = &global;
+  auto daemon =
+      Unwrap(serve::FreshendDaemon::Create(truth, bandwidth, options));
+
+  const std::string socket_path =
+      GetFlag(flags, "--socket",
+              StrFormat("/tmp/freshend-drill-%d.sock",
+                        static_cast<int>(::getpid())));
+  serve::LineServer::Options server_options;
+  server_options.socket_path = socket_path;
+  server_options.registry = &global;
+  auto server =
+      Unwrap(serve::LineServer::Start(daemon.get(), server_options));
+  if (const Status started = daemon->Start(); !started.ok()) Die(started);
+
+  // Query over the socket while the loop churns: connect once, walk the
+  // catalog with every verb, and verify each answer parses as ok.
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int client = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (client < 0 ||
+      ::connect(client, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Die(Status::Internal(StrFormat("connect(%s): %s", socket_path.c_str(),
+                                   std::strerror(errno))));
+  }
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  std::string response;
+  while (daemon->running()) {
+    for (size_t id = 0; id < std::min<size_t>(truth.size(), 32); ++id) {
+      for (const char* verb : {"ISFRESH", "AGE", "PLAN"}) {
+        if (!SocketExchange(client,
+                            StrFormat("%s %zu", verb, id), &response)) {
+          Die(Status::Internal("connection dropped mid-drill"));
+        }
+        ++sent;
+        if (response.find("\"ok\":true") != std::string::npos) ++ok;
+      }
+    }
+    if (!SocketExchange(client, "STATS", &response)) {
+      Die(Status::Internal("connection dropped on STATS"));
+    }
+    ++sent;
+    if (response.find("\"ok\":true") != std::string::npos) ++ok;
+  }
+  // Graceful drain: loop already stopped (max_periods); stop the transport,
+  // then check the final snapshot's digests from the reader side.
+  SocketExchange(client, "QUIT", &response);
+  ::close(client);
+  server->Stop();
+  daemon->Stop();
+  bool consistent = false;
+  uint64_t final_epoch = 0;
+  if (serve::SnapshotRef snapshot = daemon->AcquireSnapshot()) {
+    consistent = snapshot->CheckConsistent();
+    final_epoch = snapshot->epoch();
+  }
+  const serve::DaemonStats stats = daemon->Stats();
+  std::printf("objects     : %zu\n", truth.size());
+  std::printf("periods     : %llu\n",
+              (unsigned long long)stats.periods);
+  std::printf("epoch       : %llu (publications=%llu reclaimed=%llu)\n",
+              (unsigned long long)final_epoch,
+              (unsigned long long)stats.store.publications,
+              (unsigned long long)stats.store.snapshots_reclaimed);
+  std::printf("queries     : %llu sent over socket, %llu ok\n",
+              (unsigned long long)sent, (unsigned long long)ok);
+  std::printf("consistency : %s\n", consistent ? "OK" : "FAILED");
+  const bool passed = consistent && sent > 0 && ok == sent;
+  std::printf("serve drill : %s\n", passed ? "PASS" : "FAIL");
+  return passed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: freshenctl <gen|plan|eval|metrics|sync-drill|trace>"
-                 " [--flags]\n"
+                 "usage: freshenctl <gen|plan|eval|metrics|sync-drill|trace"
+                 "|convert|serve-drill> [--flags]\n"
                  "see the header of examples/freshenctl.cc for details\n");
     return 2;
   }
@@ -680,6 +883,10 @@ int main(int argc, char** argv) {
     rc = RunSyncDrill(flags);
   } else if (command == "trace") {
     rc = RunTrace(flags);
+  } else if (command == "convert") {
+    rc = RunConvert(flags);
+  } else if (command == "serve-drill") {
+    rc = RunServeDrill(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;

@@ -1,0 +1,211 @@
+// freshend — the resident freshening daemon. Hosts the closed mirror loop
+// (OnlineFreshenLoop) on a background thread and serves freshness queries
+// over a local UNIX socket speaking the newline protocol from
+// src/serve/protocol.h:
+//
+//   freshend --socket /tmp/freshend.sock --objects 10000 --bandwidth 2500
+//   ... elsewhere ...
+//   printf 'ISFRESH 42\nSTATS\nQUIT\n' | nc -U /tmp/freshend.sock
+//
+// Flags:
+//   --socket PATH         socket to serve on (default /tmp/freshend.sock)
+//   --catalog FILE        load the catalog (CSV or FRSHCAT1 binary,
+//                         auto-detected; --catalog-format csv|binary|auto
+//                         overrides) instead of generating one
+//   --objects N           synthetic catalog size when --catalog is absent
+//   --theta T             synthetic catalog Zipf skew
+//   --bandwidth B         sync bandwidth per period (default objects / 4)
+//   --periods P           stop after P loop periods (0 = run until signal)
+//   --period-seconds S    pace the loop to S wall seconds per period
+//   --accesses A          simulated accesses per period
+//   --threshold F         IsFresh probability threshold (default 0.5)
+//   --error-rate E        sync fault injection (0 disables the executor)
+//   --seed K              randomness seed
+//   --metrics-out FILE    write the final metrics snapshot (JSON) on exit
+//
+// SIGTERM/SIGINT trigger a graceful drain: the loop finishes its period and
+// publishes its final snapshot, the server stops accepting, in-flight
+// connections finish, the socket file is removed, and the process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/string_util.h"
+#include "freshen/freshen.h"
+#include "io/catalog_binary.h"
+#include "io/catalog_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/daemon.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace freshen;
+
+// Signal flag: the handler only sets this; the main thread does the drain.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleSignal(int) { g_shutdown_requested = 1; }
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", arg.c_str());
+      std::exit(2);
+    }
+    flags[arg] = argv[++i];
+  }
+  return flags;
+}
+
+std::string GetFlag(const std::map<std::string, std::string>& flags,
+                    const std::string& name, const std::string& fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double GetDouble(const std::map<std::string, std::string>& flags,
+                 const std::string& name, double fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+[[noreturn]] void Die(const Status& status) {
+  std::fprintf(stderr, "freshend: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+ElementSet LoadOrGenerateCatalog(
+    const std::map<std::string, std::string>& flags) {
+  const std::string path = GetFlag(flags, "--catalog", "");
+  if (!path.empty()) {
+    const std::string format = GetFlag(flags, "--catalog-format", "auto");
+    if (format == "csv") return Unwrap(LoadCatalogCsv(path));
+    if (format == "binary") return Unwrap(LoadCatalogBinary(path));
+    if (format != "auto") {
+      Die(Status::InvalidArgument("unknown --catalog-format " + format));
+    }
+    return LooksLikeBinaryCatalog(path) ? Unwrap(LoadCatalogBinary(path))
+                                        : Unwrap(LoadCatalogCsv(path));
+  }
+  ExperimentSpec spec;
+  spec.num_objects =
+      static_cast<size_t>(GetDouble(flags, "--objects", 1000));
+  spec.theta = GetDouble(flags, "--theta", 1.0);
+  spec.seed = static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+  return Unwrap(GenerateCatalog(spec));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  const ElementSet truth = LoadOrGenerateCatalog(flags);
+  const double bandwidth = GetDouble(
+      flags, "--bandwidth", 0.25 * static_cast<double>(truth.size()));
+  const uint64_t seed =
+      static_cast<uint64_t>(GetDouble(flags, "--seed", 20030305));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
+  // Optional fault-injecting executor, for drills against a flaky source.
+  std::unique_ptr<sync::SimulatedSource> faulty;
+  std::unique_ptr<sync::SyncExecutor> executor;
+  const double error_rate = GetDouble(flags, "--error-rate", 0.0);
+  if (error_rate > 0.0) {
+    sync::SimulatedSource::Options source_options;
+    source_options.error_rate = error_rate;
+    source_options.seed = seed ^ 0x647268ULL;
+    faulty = std::make_unique<sync::SimulatedSource>(
+        Unwrap(sync::SimulatedSource::Create(source_options)));
+    sync::SyncExecutor::Options executor_options;
+    executor_options.seed = seed ^ 0x73796eULL;
+    executor_options.registry = &registry;
+    executor =
+        Unwrap(sync::SyncExecutor::Create(faulty.get(), executor_options));
+  }
+
+  serve::FreshendDaemon::Options options;
+  options.loop.accesses_per_period = GetDouble(flags, "--accesses", 1000.0);
+  options.loop.seed = seed ^ 0x6f6c6fULL;
+  options.loop.registry = &registry;
+  options.loop.executor = executor.get();
+  options.freshness_threshold = GetDouble(flags, "--threshold", 0.5);
+  options.period_seconds = GetDouble(flags, "--period-seconds", 0.05);
+  options.max_periods =
+      static_cast<uint64_t>(GetDouble(flags, "--periods", 0));
+  options.registry = &registry;
+  auto daemon =
+      Unwrap(serve::FreshendDaemon::Create(truth, bandwidth, options));
+
+  serve::LineServer::Options server_options;
+  server_options.socket_path =
+      GetFlag(flags, "--socket", "/tmp/freshend.sock");
+  server_options.registry = &registry;
+  auto server =
+      Unwrap(serve::LineServer::Start(daemon.get(), server_options));
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // Client disconnects must not kill us.
+
+  if (const Status started = daemon->Start(); !started.ok()) Die(started);
+  std::printf("freshend: serving %zu elements on %s (pid %d)\n",
+              truth.size(), server->socket_path().c_str(),
+              static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  // Run until a signal arrives or the loop finishes its --periods budget.
+  while (g_shutdown_requested == 0 && daemon->running()) {
+    ::usleep(50 * 1000);
+  }
+
+  // Graceful drain: finish the period and final publication, stop the
+  // transport (in-flight requests complete), then report.
+  std::printf("freshend: draining...\n");
+  daemon->Stop();
+  server->Stop();
+  const serve::DaemonStats stats = daemon->Stats();
+  const serve::ServerStats transport = server->stats();
+  std::printf(
+      "freshend: drained after %llu periods (epoch %llu, %llu queries, "
+      "%llu connections, %llu refused)\n",
+      (unsigned long long)stats.periods,
+      (unsigned long long)stats.snapshot.epoch,
+      (unsigned long long)stats.queries,
+      (unsigned long long)transport.accepted,
+      (unsigned long long)transport.rejected);
+
+  const std::string metrics_out = GetFlag(flags, "--metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status written = WriteStringToFile(
+        obs::FormatJson(registry.Snapshot()), metrics_out);
+    if (!written.ok()) Die(written);
+    std::printf("freshend: metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

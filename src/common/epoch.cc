@@ -1,0 +1,135 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace freshen {
+namespace {
+
+// Unique id per domain so thread-local slot caches never confuse a new
+// domain allocated at a dead domain's address.
+std::atomic<uint64_t> next_domain_id{1};
+
+}  // namespace
+
+EpochDomain::EpochDomain()
+    : slots_(kMaxReaders),
+      id_(next_domain_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EpochDomain::~EpochDomain() {
+  // Whatever is still retired dies with the domain; by contract no reader
+  // can be pinned once the owner destroys the domain.
+  for (Retired& r : retired_) {
+    if (r.deleter) r.deleter();
+  }
+}
+
+EpochDomain::Slot* EpochDomain::ThreadSlot() {
+  struct CacheEntry {
+    uint64_t domain_id;
+    Slot* slot;  // nullptr = this thread overflowed this domain.
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.domain_id == id_) return entry.slot;
+  }
+  const size_t index = claimed_slots_.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = index < slots_.size() ? &slots_[index] : nullptr;
+  cache.push_back({id_, slot});
+  return slot;
+}
+
+uint64_t EpochDomain::Pin() {
+  Slot* slot = ThreadSlot();
+  if (slot == nullptr) {
+    // Overflow path: serialize on the mutex (held until Unpin). The counter
+    // makes the pin visible to TryReclaim, which refuses to reclaim while
+    // any overflow reader is inside.
+    overflow_mu_.lock();
+    overflow_pins_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+  for (;;) {
+    const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    slot->epoch.store(e, std::memory_order_seq_cst);
+    // Store-load fence (both accesses seq_cst): either the publisher's
+    // min-scan sees our advertised epoch, or we see its newer epoch and
+    // re-advertise. Each retry implies the publisher advanced, so this
+    // terminates after at most one lap per concurrent publication.
+    if (epoch_.load(std::memory_order_seq_cst) == e) return e;
+  }
+}
+
+void EpochDomain::Unpin() {
+  Slot* slot = ThreadSlot();
+  if (slot == nullptr) {
+    overflow_pins_.fetch_sub(1, std::memory_order_seq_cst);
+    overflow_mu_.unlock();
+    return;
+  }
+  slot->epoch.store(kIdle, std::memory_order_release);
+}
+
+uint64_t EpochDomain::Advance() {
+  // seq_cst so the new epoch orders against reader pin stores (see Pin).
+  return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+void EpochDomain::Retire(uint64_t retire_epoch,
+                         std::function<void()> deleter) {
+  retired_.push_back({retire_epoch, std::move(deleter)});
+}
+
+uint64_t EpochDomain::MinPinnedEpoch() const {
+  uint64_t min_epoch = kIdle;
+  const size_t claimed =
+      std::min(claimed_slots_.load(std::memory_order_relaxed), slots_.size());
+  for (size_t i = 0; i < claimed; ++i) {
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e < min_epoch) min_epoch = e;
+  }
+  if (overflow_pins_.load(std::memory_order_seq_cst) > 0) {
+    // Overflow pins are not epoch-tagged; treat them as pinning everything.
+    return 0;
+  }
+  return min_epoch;
+}
+
+size_t EpochDomain::TryReclaim() {
+  if (retired_.empty()) return 0;
+  const uint64_t min_pinned = MinPinnedEpoch();
+  // With no reader pinned (kIdle), everything retired so far is garbage:
+  // every retire epoch is < the kIdle sentinel by construction.
+  size_t reclaimed = 0;
+  for (size_t i = 0; i < retired_.size();) {
+    if (retired_[i].epoch < min_pinned) {
+      if (retired_[i].deleter) retired_[i].deleter();
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++reclaimed;
+    } else {
+      ++i;
+    }
+  }
+  return reclaimed;
+}
+
+size_t EpochDomain::DrainAll() {
+  while (PinnedReaders() > 0) {
+    std::this_thread::yield();
+  }
+  return TryReclaim();
+}
+
+size_t EpochDomain::PinnedReaders() const {
+  size_t pinned = overflow_pins_.load(std::memory_order_seq_cst);
+  const size_t claimed =
+      std::min(claimed_slots_.load(std::memory_order_relaxed), slots_.size());
+  for (size_t i = 0; i < claimed; ++i) {
+    if (slots_[i].epoch.load(std::memory_order_seq_cst) != kIdle) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace freshen

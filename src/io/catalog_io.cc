@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/string_util.h"
 #include "profile/profile.h"
@@ -34,12 +36,42 @@ Result<double> ParseNumber(const std::string& cell, size_t line, int column) {
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(cell.c_str(), &end);
-  if (end == cell.c_str() || errno == ERANGE || !std::isfinite(value)) {
+  if (end == cell.c_str()) {
     return Status::InvalidArgument(
         StrFormat("line %zu column %d: cannot parse \"%s\" as a number",
                   line, column + 1, cell.c_str()));
   }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    // NaN and +-inf parse as numbers but are never valid catalog values;
+    // say so instead of the generic "cannot parse".
+    return Status::InvalidArgument(
+        StrFormat("line %zu column %d: \"%s\" is not a finite number",
+                  line, column + 1, cell.c_str()));
+  }
   return value;
+}
+
+// Parses the optional id column: a non-negative integer element id.
+Result<uint64_t> ParseElementId(const std::string& cell, size_t line,
+                                int column) {
+  const std::string trimmed = [&] {
+    const size_t begin = cell.find_first_not_of(" \t\r");
+    const size_t end = cell.find_last_not_of(" \t\r");
+    return begin == std::string::npos ? std::string()
+                                      : cell.substr(begin, end - begin + 1);
+  }();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(trimmed.c_str(), &end, 10);
+  if (trimmed.empty() || end != trimmed.c_str() + trimmed.size() ||
+      errno == ERANGE || trimmed[0] == '-') {
+    return Status::InvalidArgument(StrFormat(
+        "line %zu column %d: \"%s\" is not a valid element id "
+        "(expected a non-negative integer)",
+        line, column + 1, cell.c_str()));
+  }
+  return static_cast<uint64_t>(value);
 }
 
 }  // namespace
@@ -59,6 +91,7 @@ Result<ElementSet> ParseCatalogCsv(const std::string& text) {
   const int rate_col = FindColumn(header, "change_rate");
   const int prob_col = FindColumn(header, "access_prob");
   const int size_col = FindColumn(header, "size");
+  const int id_col = FindColumn(header, "id");
   if (rate_col < 0 || prob_col < 0) {
     return Status::InvalidArgument(
         "catalog CSV header must contain change_rate and access_prob");
@@ -67,17 +100,30 @@ Result<ElementSet> ParseCatalogCsv(const std::string& text) {
   std::vector<double> rates;
   std::vector<double> probs;
   std::vector<double> sizes;
+  // id -> first line that declared it, for duplicate diagnostics.
+  std::unordered_map<uint64_t, size_t> seen_ids;
   for (size_t line = 1; line < lines.size(); ++line) {
     if (lines[line].find_first_not_of(" \t\r") == std::string::npos) {
       continue;  // Skip interior blank lines.
     }
     const std::vector<std::string> cells = Split(lines[line], ',');
     const int needed =
-        std::max(std::max(rate_col, prob_col), size_col);
+        std::max(std::max(std::max(rate_col, prob_col), size_col), id_col);
     if (static_cast<int>(cells.size()) <= needed) {
       return Status::InvalidArgument(
           StrFormat("line %zu: expected at least %d columns, got %zu",
                     line + 1, needed + 1, cells.size()));
+    }
+    if (id_col >= 0) {
+      FRESHEN_ASSIGN_OR_RETURN(
+          uint64_t id, ParseElementId(cells[id_col], line + 1, id_col));
+      const auto [it, inserted] = seen_ids.emplace(id, line + 1);
+      if (!inserted) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: duplicate element id %llu (first declared on line "
+            "%zu)",
+            line + 1, static_cast<unsigned long long>(id), it->second));
+      }
     }
     FRESHEN_ASSIGN_OR_RETURN(double rate,
                              ParseNumber(cells[rate_col], line + 1, rate_col));

@@ -4,10 +4,17 @@
 //
 // Catalog CSV format (header required, columns in any order, extras
 // ignored):
-//   change_rate,access_prob[,size]
+//   [id,]change_rate,access_prob[,size]
 // One row per element; `size` defaults to 1.0 when the column is absent.
 // access_prob values are normalized on load, so raw access *counts* work
-// equally well.
+// equally well. When an `id` column is present it must hold unique
+// non-negative integers — duplicates are rejected with the offending line
+// numbers. Non-finite values (NaN/inf) and out-of-domain values (negative
+// rates or probabilities, non-positive sizes) are rejected with the line
+// number.
+//
+// For the compact binary serving format (mmap zero-copy load), see
+// io/catalog_binary.h.
 #ifndef FRESHEN_IO_CATALOG_IO_H_
 #define FRESHEN_IO_CATALOG_IO_H_
 

@@ -207,6 +207,7 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
       }
       const bool changed = mirror_.Sync(event.element, event.time, source_);
       controller_->ObserveSync(event.element, changed, event.time);
+      if (options_.on_period_end) synced_scratch_.push_back(event.element);
       syncs_counter_->Increment();
       bandwidth_counter_->Add(truth_[event.element].size);
     } else {
@@ -276,6 +277,14 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   }
   if (rated > 0) {
     lambda_error_gauge_->Set(error_sum.Total() / static_cast<double>(rated));
+  }
+  if (options_.on_period_end) {
+    std::sort(synced_scratch_.begin(), synced_scratch_.end());
+    synced_scratch_.erase(
+        std::unique(synced_scratch_.begin(), synced_scratch_.end()),
+        synced_scratch_.end());
+    options_.on_period_end(stats, synced_scratch_);
+    synced_scratch_.clear();
   }
   EmitPeriodEvent(recorder, obs::EventPhase::kEnd, period_end, period_start);
   return stats;

@@ -16,6 +16,7 @@
 #define FRESHEN_MIRROR_ONLINE_LOOP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -89,6 +90,17 @@ class OnlineFreshenLoop {
     /// rankings). Its window should start at 0 and end at/after the last
     /// period the caller will run. Non-owning; must outlive the loop.
     obs::StalenessTimeline* timeline = nullptr;
+    /// Publication hook for serving (freshend): when set, RunPeriod invokes
+    /// it once at the period boundary, after the controller's replan
+    /// decision, with this period's stats and the sorted, deduplicated ids
+    /// of elements whose copies were actually refreshed. During the call
+    /// the loop is at a consistent boundary: frequencies(), the mirror's
+    /// last-sync times, and BelievedCatalog() all reflect the new period —
+    /// exactly what a snapshot publisher needs for O(changed-shards)
+    /// publication.
+    std::function<void(const PeriodStats& stats,
+                       const std::vector<uint32_t>& synced_elements)>
+        on_period_end;
   };
 
   /// `truth` holds the real change rates, real profile, and sizes; only the
@@ -114,6 +126,9 @@ class OnlineFreshenLoop {
   /// The true catalog (rates/profile/sizes currently in force).
   const ElementSet& truth() const { return truth_; }
 
+  /// The mirror's local-copy state (last-sync times), for publication hooks.
+  const MirrorState& mirror() const { return mirror_; }
+
   /// The registry this loop reports into.
   obs::MetricsRegistry& registry() const { return *registry_; }
 
@@ -135,6 +150,9 @@ class OnlineFreshenLoop {
   std::unique_ptr<AliasTable> access_table_;
   Rng access_rng_;
   double now_ = 0.0;
+  // Scratch for the on_period_end hook: distinct elements synced this
+  // period (sorted). Reused across periods to avoid reallocation.
+  std::vector<uint32_t> synced_scratch_;
 
   // Registry handles (cached once; valid for the registry's lifetime).
   obs::MetricsRegistry* registry_;

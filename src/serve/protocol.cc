@@ -1,0 +1,161 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "obs/export.h"
+
+namespace freshen {
+namespace serve {
+namespace {
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string Lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+// JSON has no NaN/Infinity literals; clamp them to null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return StrFormat("%.17g", value);
+}
+
+ProtocolResponse Error(const std::string& message) {
+  ProtocolResponse response;
+  response.line =
+      "{\"ok\":false,\"error\":\"" + obs::JsonEscape(message) + "\"}";
+  return response;
+}
+
+ProtocolResponse FromStatus(const Status& status) {
+  return Error(status.ToString());
+}
+
+// Parses the single <id> argument of ISFRESH/AGE/PLAN.
+bool ParseId(std::string_view arg, size_t* id) {
+  arg = Trim(arg);
+  if (arg.empty()) return false;
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(arg.data(), arg.data() + arg.size(), value);
+  if (ec != std::errc() || ptr != arg.data() + arg.size()) return false;
+  *id = static_cast<size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+ProtocolResponse HandleRequestLine(const FreshendDaemon& daemon,
+                                   std::string_view line) {
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty()) return Error("empty request");
+  if (trimmed.size() > 256) return Error("request too long");
+
+  const size_t space = trimmed.find(' ');
+  const std::string verb = Lower(trimmed.substr(0, space));
+  const std::string_view args =
+      space == std::string_view::npos ? std::string_view()
+                                      : trimmed.substr(space + 1);
+
+  if (verb == "ping") {
+    return ProtocolResponse{"{\"ok\":true,\"cmd\":\"ping\"}", false};
+  }
+  if (verb == "quit") {
+    return ProtocolResponse{"{\"ok\":true,\"cmd\":\"quit\"}", true};
+  }
+  if (verb == "stats") {
+    const DaemonStats stats = daemon.Stats();
+    ProtocolResponse response;
+    response.line = StrFormat(
+        "{\"ok\":true,\"cmd\":\"stats\",\"epoch\":%llu,"
+        "\"plan_version\":%llu,\"published_at\":%s,"
+        "\"num_elements\":%zu,\"num_shards\":%zu,"
+        "\"shards_rebuilt\":%zu,\"plan_bandwidth\":%s,"
+        "\"periods\":%llu,\"queries\":%llu,"
+        "\"publications\":%llu,\"snapshots_retired\":%llu,"
+        "\"snapshots_reclaimed\":%llu,\"retired_pending\":%zu,"
+        "\"pinned_readers\":%zu,\"running\":%s}",
+        static_cast<unsigned long long>(stats.snapshot.epoch),
+        static_cast<unsigned long long>(stats.snapshot.plan_version),
+        JsonNumber(stats.snapshot.published_at).c_str(),
+        stats.snapshot.num_elements, stats.snapshot.num_shards,
+        stats.snapshot.shards_rebuilt,
+        JsonNumber(stats.snapshot.plan_bandwidth).c_str(),
+        static_cast<unsigned long long>(stats.periods),
+        static_cast<unsigned long long>(stats.queries),
+        static_cast<unsigned long long>(stats.store.publications),
+        static_cast<unsigned long long>(stats.store.snapshots_retired),
+        static_cast<unsigned long long>(stats.store.snapshots_reclaimed),
+        stats.store.retired_pending, stats.pinned_readers,
+        stats.running ? "true" : "false");
+    return response;
+  }
+
+  // The remaining verbs all take exactly one element id.
+  size_t id = 0;
+  if (verb == "isfresh" || verb == "age" || verb == "plan") {
+    if (!ParseId(args, &id)) {
+      return Error("usage: " + verb + " <element-id>");
+    }
+  }
+
+  if (verb == "isfresh") {
+    auto verdict = daemon.IsFresh(id);
+    if (!verdict.ok()) return FromStatus(verdict.status());
+    ProtocolResponse response;
+    response.line = StrFormat(
+        "{\"ok\":true,\"cmd\":\"isfresh\",\"id\":%zu,\"epoch\":%llu,"
+        "\"fresh\":%s,\"p_fresh\":%s,\"elapsed\":%s}",
+        id, static_cast<unsigned long long>(verdict->epoch),
+        verdict->fresh ? "true" : "false",
+        JsonNumber(verdict->fresh_probability).c_str(),
+        JsonNumber(verdict->elapsed).c_str());
+    return response;
+  }
+  if (verb == "age") {
+    auto estimate = daemon.ExpectedAge(id);
+    if (!estimate.ok()) return FromStatus(estimate.status());
+    ProtocolResponse response;
+    response.line = StrFormat(
+        "{\"ok\":true,\"cmd\":\"age\",\"id\":%zu,\"epoch\":%llu,"
+        "\"expected_age\":%s,\"elapsed\":%s}",
+        id, static_cast<unsigned long long>(estimate->epoch),
+        JsonNumber(estimate->expected_age).c_str(),
+        JsonNumber(estimate->elapsed).c_str());
+    return response;
+  }
+  if (verb == "plan") {
+    auto entry = daemon.GetPlan(id);
+    if (!entry.ok()) return FromStatus(entry.status());
+    ProtocolResponse response;
+    response.line = StrFormat(
+        "{\"ok\":true,\"cmd\":\"plan\",\"id\":%zu,\"epoch\":%llu,"
+        "\"frequency\":%s,\"interval\":%s,\"bandwidth_share\":%s}",
+        id, static_cast<unsigned long long>(entry->epoch),
+        JsonNumber(entry->frequency).c_str(),
+        JsonNumber(entry->interval).c_str(),
+        JsonNumber(entry->bandwidth_share).c_str());
+    return response;
+  }
+  return Error("unknown command: " + verb +
+               " (expected isfresh/age/plan/stats/ping/quit)");
+}
+
+}  // namespace serve
+}  // namespace freshen

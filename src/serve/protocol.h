@@ -1,0 +1,44 @@
+// freshend wire protocol: newline-delimited requests, one single-line JSON
+// object per response. Pure functions — the socket server (serve/server.h)
+// is a thin transport around HandleRequestLine, so every command is unit
+// testable without a socket.
+//
+// Requests (case-insensitive verb, space-separated):
+//   ISFRESH <id>   -> {"ok":true,"cmd":"isfresh","id":7,"epoch":42,
+//                      "fresh":true,"p_fresh":0.9713,"elapsed":1.0}
+//   AGE <id>       -> {"ok":true,"cmd":"age","id":7,"epoch":42,
+//                      "expected_age":0.014,"elapsed":1.0}
+//   PLAN <id>      -> {"ok":true,"cmd":"plan","id":7,"epoch":42,
+//                      "frequency":2.0,"interval":0.5,"bandwidth_share":2.0}
+//   STATS          -> {"ok":true,"cmd":"stats","epoch":...,"periods":...,...}
+//   PING           -> {"ok":true,"cmd":"ping"}
+//   QUIT           -> {"ok":true,"cmd":"quit"} and the connection closes.
+// Anything else   -> {"ok":false,"error":"..."} (connection stays open).
+#ifndef FRESHEN_SERVE_PROTOCOL_H_
+#define FRESHEN_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/daemon.h"
+
+namespace freshen {
+namespace serve {
+
+/// One handled request.
+struct ProtocolResponse {
+  /// Single-line JSON payload (no trailing newline; the transport appends).
+  std::string line;
+  /// True when the client asked to end the connection (QUIT).
+  bool close = false;
+};
+
+/// Parses one request line and answers it from `daemon`'s current snapshot.
+/// Never throws; malformed input produces an {"ok":false,...} response.
+ProtocolResponse HandleRequestLine(const FreshendDaemon& daemon,
+                                   std::string_view line);
+
+}  // namespace serve
+}  // namespace freshen
+
+#endif  // FRESHEN_SERVE_PROTOCOL_H_

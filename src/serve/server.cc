@@ -1,0 +1,194 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+#include "serve/protocol.h"
+
+namespace freshen {
+namespace serve {
+namespace {
+
+// Writes the whole buffer, riding out EINTR and short writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LineServer>> LineServer::Start(
+    const FreshendDaemon* daemon, Options options) {
+  if (daemon == nullptr) {
+    return Status::InvalidArgument("daemon must not be null");
+  }
+  if (options.socket_path.empty()) {
+    return Status::InvalidArgument("socket_path must not be empty");
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("socket_path too long (%zu bytes; max %zu)",
+                  options.socket_path.size(), sizeof(addr.sun_path) - 1));
+  }
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  ::unlink(options.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(StrFormat("bind(%s): %s",
+                                      options.socket_path.c_str(),
+                                      std::strerror(err)));
+  }
+  if (::listen(fd, options.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(options.socket_path.c_str());
+    return Status::Internal(
+        StrFormat("listen(): %s", std::strerror(err)));
+  }
+  return std::unique_ptr<LineServer>(
+      new LineServer(daemon, std::move(options), fd));
+}
+
+LineServer::LineServer(const FreshendDaemon* daemon, Options options,
+                       int listen_fd)
+    : daemon_(daemon),
+      options_(std::move(options)),
+      listen_fd_(listen_fd),
+      registry_(options_.registry != nullptr
+                    ? options_.registry
+                    : &obs::MetricsRegistry::Global()) {
+  connections_counter_ =
+      registry_->GetCounter("freshen_serve_connections_total");
+  rejected_counter_ = registry_->GetCounter("freshen_serve_rejected_total");
+  requests_counter_ = registry_->GetCounter("freshen_serve_requests_total");
+  ThreadPool::Options pool_options;
+  pool_options.num_threads = std::max<size_t>(1, options_.num_threads);
+  pool_options.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  pool_ = std::make_unique<ThreadPool>(pool_options);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+LineServer::~LineServer() { Stop(); }
+
+void LineServer::Stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  // Order matters: (1) poke the accept thread out of accept(2) and join it
+  // so no new connections arrive; (2) shut down live connections' read
+  // sides so blocked read(2)s return 0 and handlers finish; (3) destroy the
+  // pool, which drains queued connections (their handlers see stopped_ and
+  // close immediately) and joins the workers.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(fds_mu_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  pool_.reset();
+  ::unlink(options_.socket_path.c_str());
+}
+
+void LineServer::AcceptLoop() {
+  for (;;) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      // Stop() closed the listener (EBADF/EINVAL) or the socket died.
+      return;
+    }
+    if (stopped_.load(std::memory_order_acquire)) {
+      ::close(conn);
+      return;
+    }
+    const Status submitted = pool_->TrySubmit([this, conn] {
+      ServeConnection(conn);
+    });
+    if (!submitted.ok()) {
+      // Backpressure: refuse rather than queue unboundedly. The client sees
+      // an immediate close and can retry.
+      rejected_counter_->Increment();
+      ::close(conn);
+      continue;
+    }
+    connections_counter_->Increment();
+  }
+}
+
+void LineServer::TrackFd(int fd) {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  live_fds_.push_back(fd);
+}
+
+void LineServer::UntrackFd(int fd) {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+void LineServer::ServeConnection(int fd) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return;
+  }
+  TrackFd(fd);
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (including Stop's SHUT_RD).
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > 1 << 16) break;  // Abusive client; drop it.
+    size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      const ProtocolResponse response = HandleRequestLine(
+          *daemon_, std::string_view(buffer.data(), newline));
+      buffer.erase(0, newline + 1);
+      requests_counter_->Increment();
+      std::string out = response.line;
+      out.push_back('\n');
+      if (!WriteAll(fd, out.data(), out.size())) open = false;
+      if (response.close) open = false;
+    }
+  }
+  UntrackFd(fd);
+  ::close(fd);
+}
+
+ServerStats LineServer::stats() const {
+  ServerStats stats;
+  stats.accepted = static_cast<uint64_t>(connections_counter_->value());
+  stats.rejected = static_cast<uint64_t>(rejected_counter_->value());
+  stats.requests = static_cast<uint64_t>(requests_counter_->value());
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace freshen

@@ -1,0 +1,157 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace freshen {
+namespace serve {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+uint64_t MixBytes(uint64_t hash, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t MixColumn(uint64_t hash, const std::vector<double>& column) {
+  return column.empty()
+             ? hash
+             : MixBytes(hash, column.data(), column.size() * sizeof(double));
+}
+
+}  // namespace
+
+uint64_t DigestShard(const ShardBlock& block) {
+  uint64_t hash = kFnvOffset;
+  hash = MixBytes(hash, &block.begin, sizeof(block.begin));
+  hash = MixBytes(hash, &block.end, sizeof(block.end));
+  hash = MixColumn(hash, block.frequency);
+  hash = MixColumn(hash, block.change_rate);
+  hash = MixColumn(hash, block.access_prob);
+  hash = MixColumn(hash, block.size);
+  hash = MixColumn(hash, block.last_sync_time);
+  return hash;
+}
+
+uint64_t CombineDigests(
+    const std::vector<std::shared_ptr<const ShardBlock>>& shards) {
+  uint64_t combined = kFnvOffset;
+  for (const std::shared_ptr<const ShardBlock>& shard : shards) {
+    const uint64_t digest = shard->digest;
+    combined = MixBytes(combined, &digest, sizeof(digest));
+  }
+  return combined;
+}
+
+bool ServeSnapshot::CheckConsistent() const {
+  if (shards_.empty()) return num_elements_ == 0;
+  size_t expected_begin = 0;
+  for (const std::shared_ptr<const ShardBlock>& shard : shards_) {
+    if (shard == nullptr) return false;
+    if (shard->begin != expected_begin || shard->end < shard->begin) {
+      return false;
+    }
+    if (DigestShard(*shard) != shard->digest) return false;
+    expected_begin = shard->end;
+  }
+  if (expected_begin != num_elements_) return false;
+  return CombineDigests(shards_) == combined_digest_;
+}
+
+SnapshotBuilder::SnapshotBuilder(size_t num_elements)
+    : num_elements_(num_elements),
+      plan_(par::ShardPlan(num_elements)),
+      dirty_(plan_.size(), 0) {}
+
+void SnapshotBuilder::MarkDirty(size_t element) {
+  FRESHEN_CHECK(element < num_elements_);
+  dirty_[par::ShardIndexOf(num_elements_, element)] = 1;
+}
+
+void SnapshotBuilder::MarkAllDirty() {
+  std::fill(dirty_.begin(), dirty_.end(), uint8_t{1});
+}
+
+size_t SnapshotBuilder::DirtyShards() const {
+  size_t dirty = 0;
+  for (uint8_t flag : dirty_) dirty += flag;
+  return dirty;
+}
+
+Result<std::shared_ptr<const ServeSnapshot>> SnapshotBuilder::Publish(
+    uint64_t epoch, uint64_t plan_version, double now,
+    const std::vector<double>& frequency,
+    const std::vector<double>& change_rate,
+    const std::vector<double>& access_prob, const std::vector<double>& size,
+    const std::vector<double>& last_sync_time) {
+  if (frequency.size() != num_elements_ ||
+      change_rate.size() != num_elements_ ||
+      access_prob.size() != num_elements_ || size.size() != num_elements_ ||
+      last_sync_time.size() != num_elements_) {
+    return Status::InvalidArgument("snapshot column length mismatch");
+  }
+  ++publish_seq_;
+
+  auto snapshot = std::shared_ptr<ServeSnapshot>(new ServeSnapshot());
+  snapshot->num_elements_ = num_elements_;
+  snapshot->shards_.resize(plan_.size());
+
+  size_t rebuilt = 0;
+  for (size_t s = 0; s < plan_.size(); ++s) {
+    if (!dirty_[s]) {
+      if (last_ == nullptr) {
+        return Status::FailedPrecondition(
+            "first Publish must follow MarkAllDirty");
+      }
+      snapshot->shards_[s] = last_->shards_[s];
+      continue;
+    }
+    const par::Shard& shard = plan_[s];
+    auto block = std::make_shared<ShardBlock>();
+    block->begin = shard.begin;
+    block->end = shard.end;
+    block->built_seq = publish_seq_;
+    const size_t n = shard.size();
+    block->frequency.assign(frequency.begin() + shard.begin,
+                            frequency.begin() + shard.end);
+    block->change_rate.assign(change_rate.begin() + shard.begin,
+                              change_rate.begin() + shard.end);
+    block->access_prob.assign(access_prob.begin() + shard.begin,
+                              access_prob.begin() + shard.end);
+    block->size.assign(size.begin() + shard.begin, size.begin() + shard.end);
+    block->last_sync_time.assign(last_sync_time.begin() + shard.begin,
+                                 last_sync_time.begin() + shard.end);
+    FRESHEN_CHECK(block->frequency.size() == n);
+    block->digest = DigestShard(*block);
+    snapshot->shards_[s] = std::move(block);
+    ++rebuilt;
+  }
+  std::fill(dirty_.begin(), dirty_.end(), uint8_t{0});
+
+  snapshot->combined_digest_ = CombineDigests(snapshot->shards_);
+  SnapshotStats& stats = snapshot->stats_;
+  stats.epoch = epoch;
+  stats.plan_version = plan_version;
+  stats.published_at = now;
+  stats.num_elements = num_elements_;
+  stats.num_shards = plan_.size();
+  stats.shards_rebuilt = rebuilt;
+  double bandwidth = 0.0;
+  for (size_t i = 0; i < num_elements_; ++i) {
+    bandwidth += frequency[i] * size[i];
+  }
+  stats.plan_bandwidth = bandwidth;
+
+  last_ = snapshot;
+  return std::shared_ptr<const ServeSnapshot>(std::move(snapshot));
+}
+
+}  // namespace serve
+}  // namespace freshen

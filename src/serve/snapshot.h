@@ -1,0 +1,189 @@
+// Immutable, sharded serving state for the freshend daemon.
+//
+// A ServeSnapshot is what a concurrent query reads: the controller's current
+// plan, the mirror's last-sync times, and the controller's believed catalog,
+// frozen at one publication instant. Snapshots are immutable after
+// publication — readers never see a value change under them — and sharded
+// along the same fixed par::ShardPlan the compute spine uses, so publishing
+// a new snapshot after a period only deep-copies the shards whose elements
+// actually synced or whose frequencies changed: untouched shards are shared
+// by pointer between consecutive snapshots (persistent-data-structure
+// style), making publication O(changed shards), not O(N).
+//
+// Consistency is checkable from the reader side: every shard block carries
+// an order-sensitive digest of its payload, and the snapshot records the
+// combined digest over all shards at publication time. A reader that ever
+// observed a torn snapshot (shards from two different publications) would
+// recompute a different combination — the torture test and the serving
+// bench both recompute and compare on every sampled query.
+#ifndef FRESHEN_SERVE_SNAPSHOT_H_
+#define FRESHEN_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "model/element.h"
+
+namespace freshen {
+namespace serve {
+
+/// One contiguous shard of serving state: parallel columns over the
+/// elements in [shard.begin, shard.end). Immutable after construction.
+struct ShardBlock {
+  /// Index range this block covers (mirrors the snapshot's shard plan).
+  size_t begin = 0;
+  size_t end = 0;
+  /// Publication sequence that built this block (for debugging/attribution;
+  /// an unchanged block is shared across many snapshots).
+  uint64_t built_seq = 0;
+  /// Planned sync frequency per element (per period).
+  std::vector<double> frequency;
+  /// Controller-believed change rate per element (per period).
+  std::vector<double> change_rate;
+  /// Controller-believed access probability per element.
+  std::vector<double> access_prob;
+  /// Element size in bandwidth units.
+  std::vector<double> size;
+  /// Time of the element's last applied sync (period units; 0 = never).
+  std::vector<double> last_sync_time;
+  /// Order-sensitive digest over every column (see DigestShard).
+  uint64_t digest = 0;
+
+  size_t count() const { return end - begin; }
+};
+
+/// FNV-1a-style order-sensitive digest of a shard block's payload columns.
+/// Recomputable by readers to prove a snapshot was not torn.
+uint64_t DigestShard(const ShardBlock& block);
+
+/// Per-element view assembled by ServeSnapshot::Lookup.
+struct ElementView {
+  double frequency = 0.0;
+  double change_rate = 0.0;
+  double access_prob = 0.0;
+  double size = 1.0;
+  double last_sync_time = 0.0;
+};
+
+/// Aggregate facts frozen at publication.
+struct SnapshotStats {
+  /// Publication epoch (EpochDomain::Advance value; 1-based).
+  uint64_t epoch = 0;
+  /// Number of replans the controller had installed when published.
+  uint64_t plan_version = 0;
+  /// Loop time at publication (whole periods completed).
+  double published_at = 0.0;
+  /// Elements in the catalog.
+  size_t num_elements = 0;
+  /// Shards in the plan.
+  size_t num_shards = 0;
+  /// Shards rebuilt by the publication that produced this snapshot.
+  size_t shards_rebuilt = 0;
+  /// Sum of planned frequencies times sizes (plan bandwidth).
+  double plan_bandwidth = 0.0;
+};
+
+/// One immutable published state. Create via SnapshotBuilder; query from any
+/// thread without synchronization (all state is const after publication).
+class ServeSnapshot {
+ public:
+  /// The element count.
+  size_t size() const { return num_elements_; }
+
+  /// Publication epoch.
+  uint64_t epoch() const { return stats_.epoch; }
+
+  /// Aggregate facts.
+  const SnapshotStats& stats() const { return stats_; }
+
+  /// The combined digest recorded at publication.
+  uint64_t combined_digest() const { return combined_digest_; }
+
+  /// Per-element columns for `element` (must be < size()). Lock-free: two
+  /// array reads, no atomics.
+  ElementView Lookup(size_t element) const {
+    const size_t shard = par::ShardIndexOf(num_elements_, element);
+    const ShardBlock& block = *shards_[shard];
+    const size_t offset = element - block.begin;
+    return ElementView{block.frequency[offset], block.change_rate[offset],
+                       block.access_prob[offset], block.size[offset],
+                       block.last_sync_time[offset]};
+  }
+
+  /// The shard blocks (for iteration / consistency checks).
+  const std::vector<std::shared_ptr<const ShardBlock>>& shards() const {
+    return shards_;
+  }
+
+  /// Recomputes every shard digest and their combination and compares
+  /// against the values recorded at publication. True = internally
+  /// consistent (no torn publication, no mutation since). This is O(N);
+  /// meant for tests, torture readers, and the serving bench's sampled
+  /// verification, not the query hot path.
+  bool CheckConsistent() const;
+
+ private:
+  friend class SnapshotBuilder;
+  ServeSnapshot() = default;
+
+  size_t num_elements_ = 0;
+  std::vector<std::shared_ptr<const ShardBlock>> shards_;
+  uint64_t combined_digest_ = 0;
+  SnapshotStats stats_;
+};
+
+/// Builds successive snapshots with shard-level structural sharing. Owned
+/// and driven by the single publisher thread (the daemon's loop thread).
+class SnapshotBuilder {
+ public:
+  /// A builder over `num_elements` elements. The shard plan is fixed for the
+  /// builder's lifetime (the default par::ShardPlan sizing).
+  explicit SnapshotBuilder(size_t num_elements);
+
+  /// Marks one element dirty: its shard is rebuilt at the next Publish.
+  void MarkDirty(size_t element);
+
+  /// Marks every element dirty (first publication, replans).
+  void MarkAllDirty();
+
+  /// Number of shards currently marked dirty.
+  size_t DirtyShards() const;
+
+  /// Total shards in the plan.
+  size_t NumShards() const { return plan_.size(); }
+
+  /// Builds the next snapshot: dirty shards are deep-copied from the given
+  /// columns, clean shards are shared from the previous snapshot. Column
+  /// vectors must all have num_elements entries. `epoch` is the publication
+  /// epoch the caller just opened; `plan_version` and `now` land in stats.
+  /// Clears the dirty set. The first call must follow MarkAllDirty (there
+  /// is no previous snapshot to share from); this is checked.
+  Result<std::shared_ptr<const ServeSnapshot>> Publish(
+      uint64_t epoch, uint64_t plan_version, double now,
+      const std::vector<double>& frequency,
+      const std::vector<double>& change_rate,
+      const std::vector<double>& access_prob,
+      const std::vector<double>& size,
+      const std::vector<double>& last_sync_time);
+
+ private:
+  size_t num_elements_;
+  std::vector<par::Shard> plan_;
+  std::vector<uint8_t> dirty_;  // Per shard.
+  uint64_t publish_seq_ = 0;
+  // The builder keeps its own reference to the last snapshot purely as the
+  // sharing source; lifetime of published snapshots is the store's job.
+  std::shared_ptr<const ServeSnapshot> last_;
+};
+
+/// Combines per-shard digests in shard order (order-sensitive mix).
+uint64_t CombineDigests(
+    const std::vector<std::shared_ptr<const ShardBlock>>& shards);
+
+}  // namespace serve
+}  // namespace freshen
+
+#endif  // FRESHEN_SERVE_SNAPSHOT_H_

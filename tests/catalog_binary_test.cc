@@ -1,0 +1,176 @@
+// Tests for the FRSHCAT1 binary catalog format: bit-identical round trips,
+// corruption detection, zero-copy mmap loads, and parity with the CSV
+// reader.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/catalog_binary.h"
+#include "io/catalog_io.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace {
+
+ElementSet TestCatalog(size_t n) {
+  ExperimentSpec spec;
+  spec.num_objects = n;
+  spec.theta = 1.1;
+  spec.size_model = SizeModel::kPareto;
+  spec.seed = 321;
+  return GenerateCatalog(spec).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// memcmp-level equality of two catalogs: every double must round-trip to
+// the exact same bit pattern, not merely compare approximately.
+void ExpectBitIdentical(const ElementSet& a, const ElementSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a[i].change_rate, &b[i].change_rate,
+                          sizeof(double)),
+              0)
+        << "change_rate differs at " << i;
+    EXPECT_EQ(std::memcmp(&a[i].access_prob, &b[i].access_prob,
+                          sizeof(double)),
+              0)
+        << "access_prob differs at " << i;
+    EXPECT_EQ(std::memcmp(&a[i].size, &b[i].size, sizeof(double)), 0)
+        << "size differs at " << i;
+  }
+}
+
+TEST(CatalogBinaryTest, InMemoryRoundTripIsBitIdentical) {
+  const ElementSet catalog = TestCatalog(1000);
+  const std::string blob = CatalogToBinary(catalog);
+  const ElementSet loaded =
+      ParseCatalogBinary(blob.data(), blob.size()).value();
+  ExpectBitIdentical(catalog, loaded);
+}
+
+TEST(CatalogBinaryTest, FileRoundTripIsBitIdentical) {
+  const ElementSet catalog = TestCatalog(777);
+  const std::string path = TempPath("catalog_binary_roundtrip.fcat");
+  ASSERT_TRUE(SaveCatalogBinary(catalog, path).ok());
+  const ElementSet loaded = LoadCatalogBinary(path).value();
+  ExpectBitIdentical(catalog, loaded);
+  // Serializing the loaded catalog reproduces the file byte for byte.
+  const std::string original = ReadFileToString(path).value();
+  EXPECT_EQ(CatalogToBinary(loaded), original);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogBinaryTest, EmptyCatalogRoundTrips) {
+  const std::string blob = CatalogToBinary({});
+  const ElementSet loaded =
+      ParseCatalogBinary(blob.data(), blob.size()).value();
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(CatalogBinaryTest, MmapExposesColumnsZeroCopy) {
+  const ElementSet catalog = TestCatalog(500);
+  const std::string path = TempPath("catalog_binary_mmap.fcat");
+  ASSERT_TRUE(SaveCatalogBinary(catalog, path).ok());
+  MmapCatalog mapped = MmapCatalog::Open(path).value();
+  ASSERT_EQ(mapped.size(), catalog.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(mapped.change_rates()[i], catalog[i].change_rate);
+    EXPECT_EQ(mapped.access_probs()[i], catalog[i].access_prob);
+    EXPECT_EQ(mapped.sizes()[i], catalog[i].size);
+  }
+  ExpectBitIdentical(catalog, mapped.ToElementSet());
+
+  // Move semantics keep the mapping valid exactly once.
+  MmapCatalog moved = std::move(mapped);
+  EXPECT_EQ(moved.size(), catalog.size());
+  EXPECT_EQ(moved.change_rates()[0], catalog[0].change_rate);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogBinaryTest, DetectsCorruption) {
+  const ElementSet catalog = TestCatalog(100);
+  std::string blob = CatalogToBinary(catalog);
+
+  // Flip one payload byte: the section CRC must catch it.
+  std::string corrupted = blob;
+  corrupted[corrupted.size() - 5] ^= 0x40;
+  EXPECT_FALSE(ParseCatalogBinary(corrupted.data(), corrupted.size()).ok());
+
+  // Flip a header byte.
+  corrupted = blob;
+  corrupted[9] ^= 0x01;
+  EXPECT_FALSE(ParseCatalogBinary(corrupted.data(), corrupted.size()).ok());
+
+  // Truncation.
+  EXPECT_FALSE(ParseCatalogBinary(blob.data(), blob.size() / 2).ok());
+  EXPECT_FALSE(ParseCatalogBinary(blob.data(), 4).ok());
+
+  // Wrong magic.
+  corrupted = blob;
+  corrupted[0] = 'X';
+  EXPECT_FALSE(ParseCatalogBinary(corrupted.data(), corrupted.size()).ok());
+}
+
+TEST(CatalogBinaryTest, RejectsOutOfDomainValues) {
+  ElementSet catalog = TestCatalog(10);
+  catalog[3].change_rate = -1.0;
+  std::string blob = CatalogToBinary(catalog);
+  // CRCs are over the stored bytes, so this file is "intact" but invalid:
+  // domain validation must reject it.
+  EXPECT_FALSE(ParseCatalogBinary(blob.data(), blob.size()).ok());
+
+  catalog = TestCatalog(10);
+  catalog[0].size = 0.0;
+  blob = CatalogToBinary(catalog);
+  EXPECT_FALSE(ParseCatalogBinary(blob.data(), blob.size()).ok());
+
+  catalog = TestCatalog(10);
+  catalog[9].access_prob = std::nan("");
+  blob = CatalogToBinary(catalog);
+  EXPECT_FALSE(ParseCatalogBinary(blob.data(), blob.size()).ok());
+}
+
+TEST(CatalogBinaryTest, FormatDetection) {
+  const ElementSet catalog = TestCatalog(50);
+  const std::string binary_path = TempPath("catalog_detect.fcat");
+  const std::string csv_path = TempPath("catalog_detect.csv");
+  ASSERT_TRUE(SaveCatalogBinary(catalog, binary_path).ok());
+  ASSERT_TRUE(SaveCatalogCsv(catalog, csv_path).ok());
+  EXPECT_TRUE(LooksLikeBinaryCatalog(binary_path));
+  EXPECT_FALSE(LooksLikeBinaryCatalog(csv_path));
+  EXPECT_FALSE(LooksLikeBinaryCatalog(TempPath("does_not_exist.fcat")));
+  std::remove(binary_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(CatalogBinaryTest, AgreesWithCsvReader) {
+  // A catalog whose CSV probabilities are already normalized survives the
+  // CSV round trip, so both formats must load element-for-element equal.
+  const ElementSet catalog = TestCatalog(200);
+  const std::string csv_path = TempPath("catalog_parity.csv");
+  const std::string bin_path = TempPath("catalog_parity.fcat");
+  ASSERT_TRUE(SaveCatalogCsv(catalog, csv_path).ok());
+  ASSERT_TRUE(SaveCatalogBinary(catalog, bin_path).ok());
+  const ElementSet from_csv = LoadCatalogCsv(csv_path).value();
+  const ElementSet from_bin = LoadCatalogBinary(bin_path).value();
+  ASSERT_EQ(from_csv.size(), from_bin.size());
+  for (size_t i = 0; i < from_csv.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_csv[i].change_rate, from_bin[i].change_rate);
+    EXPECT_NEAR(from_csv[i].access_prob, from_bin[i].access_prob, 1e-15);
+    EXPECT_DOUBLE_EQ(from_csv[i].size, from_bin[i].size);
+  }
+}
+
+TEST(CatalogBinaryTest, Crc32MatchesKnownVector) {
+  // The classic IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace freshen

@@ -78,6 +78,55 @@ TEST(CatalogCsvTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n1,0\n2,0\n").ok());
 }
 
+TEST(CatalogCsvTest, AcceptsIdColumnWithUniqueIds) {
+  const auto catalog = ParseCatalogCsv(
+                           "id,change_rate,access_prob\n"
+                           "0,2.0,0.5\n"
+                           "7,1.0,0.5\n")
+                           .value();
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(CatalogCsvTest, RejectsDuplicateIdsWithBothLineNumbers) {
+  const auto result = ParseCatalogCsv(
+      "id,change_rate,access_prob\n"
+      "3,2.0,0.5\n"
+      "1,1.0,0.2\n"
+      "3,1.0,0.3\n");
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("line 4: duplicate element id 3"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("first declared on line 2"), std::string::npos)
+      << message;
+}
+
+TEST(CatalogCsvTest, RejectsMalformedIds) {
+  EXPECT_FALSE(
+      ParseCatalogCsv("id,change_rate,access_prob\nx,1,1\n").ok());
+  EXPECT_FALSE(
+      ParseCatalogCsv("id,change_rate,access_prob\n-2,1,1\n").ok());
+  EXPECT_FALSE(
+      ParseCatalogCsv("id,change_rate,access_prob\n1.5,1,1\n").ok());
+}
+
+TEST(CatalogCsvTest, RejectsNonFiniteValuesWithDiagnostic) {
+  const auto nan_result =
+      ParseCatalogCsv("change_rate,access_prob\nnan,1\n");
+  ASSERT_FALSE(nan_result.ok());
+  EXPECT_NE(nan_result.status().ToString().find("is not a finite number"),
+            std::string::npos)
+      << nan_result.status().ToString();
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\ninf,1\n").ok());
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n1,nan\n").ok());
+  EXPECT_FALSE(
+      ParseCatalogCsv("change_rate,access_prob,size\n1,1,inf\n").ok());
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n1e999,1\n").ok());
+  // Negative probabilities are rejected even though they are finite.
+  EXPECT_FALSE(ParseCatalogCsv("change_rate,access_prob\n1,-0.5\n").ok());
+}
+
 TEST(CatalogCsvTest, RoundTripsThroughSerialization) {
   const ElementSet original =
       MakeElementSet({1.25, 3.5, 0.125}, {0.5, 0.25, 0.25}, {1.0, 2.5, 0.5});

@@ -1,0 +1,460 @@
+// Tests for the freshend serving subsystem: epoch-based reclamation,
+// snapshot building with structural sharing, the lock-free snapshot store,
+// the daemon's query API, and the line protocol.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/epoch.h"
+#include "obs/metrics.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/store.h"
+#include "workload/generator.h"
+
+namespace freshen {
+namespace serve {
+namespace {
+
+// ---- EpochDomain ----------------------------------------------------------
+
+TEST(EpochDomainTest, AdvanceOpensSuccessiveEpochs) {
+  EpochDomain domain;
+  EXPECT_EQ(domain.CurrentEpoch(), 0u);
+  EXPECT_EQ(domain.Advance(), 1u);
+  EXPECT_EQ(domain.Advance(), 2u);
+  EXPECT_EQ(domain.CurrentEpoch(), 2u);
+}
+
+TEST(EpochDomainTest, PinReturnsCurrentEpochAndCounts) {
+  EpochDomain domain;
+  domain.Advance();
+  EXPECT_EQ(domain.PinnedReaders(), 0u);
+  const uint64_t pinned = domain.Pin();
+  EXPECT_EQ(pinned, 1u);
+  EXPECT_EQ(domain.PinnedReaders(), 1u);
+  EXPECT_EQ(domain.MinPinnedEpoch(), 1u);
+  domain.Unpin();
+  EXPECT_EQ(domain.PinnedReaders(), 0u);
+  EXPECT_EQ(domain.MinPinnedEpoch(), EpochDomain::kIdle);
+}
+
+TEST(EpochDomainTest, RetiredObjectSurvivesUntilReaderLeaves) {
+  EpochDomain domain;
+  domain.Advance();  // Epoch 1 current.
+  const uint64_t pinned = domain.Pin();
+  ASSERT_EQ(pinned, 1u);
+
+  domain.Advance();  // Epoch 2; the epoch-1 object is superseded.
+  bool freed = false;
+  domain.Retire(1, [&freed] { freed = true; });
+  EXPECT_EQ(domain.TryReclaim(), 0u);  // Reader still pinned at 1.
+  EXPECT_FALSE(freed);
+
+  domain.Unpin();
+  EXPECT_EQ(domain.TryReclaim(), 1u);
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(domain.RetiredCount(), 0u);
+}
+
+TEST(EpochDomainTest, ReaderAtNewerEpochDoesNotProtectOlderGarbage) {
+  EpochDomain domain;
+  domain.Advance();  // 1
+  domain.Advance();  // 2
+  bool freed = false;
+  domain.Retire(1, [&freed] { freed = true; });
+  domain.Advance();           // 3
+  const uint64_t pinned = domain.Pin();  // Pinned at 3.
+  EXPECT_EQ(pinned, 3u);
+  EXPECT_EQ(domain.TryReclaim(), 1u);  // 1 < 3: reclaimable.
+  EXPECT_TRUE(freed);
+  domain.Unpin();
+}
+
+TEST(EpochDomainTest, DrainAllFreesEverything) {
+  EpochDomain domain;
+  domain.Advance();
+  int freed = 0;
+  domain.Retire(1, [&freed] { ++freed; });
+  domain.Advance();
+  domain.Retire(2, [&freed] { ++freed; });
+  EXPECT_EQ(domain.DrainAll(), 2u);
+  EXPECT_EQ(freed, 2);
+}
+
+TEST(EpochDomainTest, EpochPinIsRaii) {
+  EpochDomain domain;
+  domain.Advance();
+  {
+    EpochPin pin(domain);
+    EXPECT_EQ(pin.epoch(), 1u);
+    EXPECT_EQ(domain.PinnedReaders(), 1u);
+  }
+  EXPECT_EQ(domain.PinnedReaders(), 0u);
+}
+
+TEST(EpochDomainTest, ManyThreadsPinConcurrently) {
+  EpochDomain domain;
+  domain.Advance();
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::atomic<size_t> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 1000; ++i) {
+        const uint64_t e = domain.Pin();
+        if (e == 0 || e == EpochDomain::kIdle) failures.fetch_add(1);
+        domain.Unpin();
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(domain.PinnedReaders(), 0u);
+}
+
+// ---- SnapshotBuilder ------------------------------------------------------
+
+std::vector<double> Column(size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+TEST(SnapshotBuilderTest, FirstPublishRequiresMarkAllDirty) {
+  SnapshotBuilder builder(100);
+  const auto columns = Column(100, 1.0);
+  auto result =
+      builder.Publish(1, 0, 0.0, columns, columns, columns, columns, columns);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SnapshotBuilderTest, PublishesConsistentSnapshot) {
+  const size_t n = 10000;
+  SnapshotBuilder builder(n);
+  builder.MarkAllDirty();
+  const auto columns = Column(n, 0.5);
+  auto snapshot =
+      builder.Publish(1, 0, 0.0, columns, columns, columns, columns, columns)
+          .value();
+  EXPECT_EQ(snapshot->size(), n);
+  EXPECT_EQ(snapshot->epoch(), 1u);
+  EXPECT_TRUE(snapshot->CheckConsistent());
+  const ElementView view = snapshot->Lookup(n - 1);
+  EXPECT_DOUBLE_EQ(view.frequency, 0.5);
+  EXPECT_DOUBLE_EQ(view.last_sync_time, 0.5);
+}
+
+TEST(SnapshotBuilderTest, CleanShardsAreSharedDirtyShardsRebuilt) {
+  const size_t n = 20000;  // Several shards at the 4096 grain.
+  SnapshotBuilder builder(n);
+  ASSERT_GT(builder.NumShards(), 2u);
+  builder.MarkAllDirty();
+  auto columns = Column(n, 1.0);
+  auto first =
+      builder.Publish(1, 0, 0.0, columns, columns, columns, columns, columns)
+          .value();
+
+  // Touch exactly one element; only its shard should rebuild.
+  columns[0] = 2.0;
+  builder.MarkDirty(0);
+  EXPECT_EQ(builder.DirtyShards(), 1u);
+  auto second =
+      builder.Publish(2, 0, 1.0, columns, columns, columns, columns, columns)
+          .value();
+
+  EXPECT_EQ(second->stats().shards_rebuilt, 1u);
+  EXPECT_NE(first->shards()[0].get(), second->shards()[0].get());
+  for (size_t s = 1; s < first->shards().size(); ++s) {
+    EXPECT_EQ(first->shards()[s].get(), second->shards()[s].get())
+        << "shard " << s << " should be structurally shared";
+  }
+  EXPECT_TRUE(second->CheckConsistent());
+  EXPECT_DOUBLE_EQ(second->Lookup(0).frequency, 2.0);
+  // The first snapshot is untouched by the second publication.
+  EXPECT_TRUE(first->CheckConsistent());
+  EXPECT_DOUBLE_EQ(first->Lookup(0).frequency, 1.0);
+  EXPECT_NE(first->combined_digest(), second->combined_digest());
+}
+
+// ---- SnapshotStore --------------------------------------------------------
+
+std::shared_ptr<const ServeSnapshot> MakeSnapshot(SnapshotBuilder& builder,
+                                                  uint64_t epoch, size_t n,
+                                                  double value) {
+  builder.MarkAllDirty();
+  const auto columns = Column(n, value);
+  return builder
+      .Publish(epoch, 0, 0.0, columns, columns, columns, columns, columns)
+      .value();
+}
+
+TEST(SnapshotStoreTest, EmptyBeforeFirstPublish) {
+  obs::MetricsRegistry registry;
+  SnapshotStore store(&registry);
+  SnapshotRef ref = store.Acquire();
+  EXPECT_FALSE(ref);
+}
+
+TEST(SnapshotStoreTest, PublishThenAcquire) {
+  obs::MetricsRegistry registry;
+  SnapshotStore store(&registry);
+  SnapshotBuilder builder(64);
+  EXPECT_EQ(store.Publish(MakeSnapshot(builder, 1, 64, 1.0)), 1u);
+  SnapshotRef ref = store.Acquire();
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref->epoch(), 1u);
+  EXPECT_TRUE(ref->CheckConsistent());
+}
+
+TEST(SnapshotStoreTest, HeldRefDelaysReclamation) {
+  obs::MetricsRegistry registry;
+  SnapshotStore store(&registry);
+  SnapshotBuilder builder(64);
+  store.Publish(MakeSnapshot(builder, 1, 64, 1.0));
+  SnapshotRef held = store.Acquire();
+  ASSERT_TRUE(held);
+
+  store.Publish(MakeSnapshot(builder, 2, 64, 2.0));
+  StoreStats stats = store.stats();
+  EXPECT_EQ(stats.snapshots_retired, 1u);
+  EXPECT_EQ(stats.snapshots_reclaimed, 0u);
+  EXPECT_EQ(stats.retired_pending, 1u);
+  // The held ref still reads the old snapshot, consistently.
+  EXPECT_EQ(held->epoch(), 1u);
+  EXPECT_DOUBLE_EQ(held->Lookup(0).frequency, 1.0);
+  EXPECT_TRUE(held->CheckConsistent());
+
+  held = SnapshotRef();  // Release; next publication reclaims.
+  store.Publish(MakeSnapshot(builder, 3, 64, 3.0));
+  stats = store.stats();
+  EXPECT_EQ(stats.snapshots_retired, 2u);
+  EXPECT_GE(stats.snapshots_reclaimed, 1u);
+}
+
+TEST(SnapshotStoreTest, DrainReclaimsEverything) {
+  obs::MetricsRegistry registry;
+  SnapshotStore store(&registry);
+  SnapshotBuilder builder(64);
+  for (uint64_t e = 1; e <= 5; ++e) {
+    store.Publish(MakeSnapshot(builder, e, 64, static_cast<double>(e)));
+  }
+  store.Drain();
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.snapshots_retired, 4u);
+  EXPECT_EQ(stats.snapshots_reclaimed, 4u);
+  EXPECT_EQ(stats.retired_pending, 0u);
+}
+
+// ---- FreshendDaemon -------------------------------------------------------
+
+ElementSet TestCatalog(size_t n) {
+  ExperimentSpec spec;
+  spec.num_objects = n;
+  spec.theta = 1.0;
+  spec.seed = 99;
+  return GenerateCatalog(spec).value();
+}
+
+FreshendDaemon::Options DaemonOptions(obs::MetricsRegistry* registry) {
+  FreshendDaemon::Options options;
+  options.loop.accesses_per_period = 50.0;
+  options.loop.seed = 7;
+  options.loop.registry = registry;
+  options.registry = registry;
+  return options;
+}
+
+TEST(FreshendDaemonTest, CreatePublishesInitialSnapshot) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(200), 50.0, DaemonOptions(&registry))
+          .value();
+  EXPECT_FALSE(daemon->running());
+  SnapshotRef snapshot = daemon->AcquireSnapshot();
+  ASSERT_TRUE(snapshot);
+  EXPECT_EQ(snapshot->epoch(), 1u);
+  EXPECT_TRUE(snapshot->CheckConsistent());
+
+  // Before any period: nothing synced, published_at = 0 => everything is
+  // trivially fresh with zero expected age.
+  const FreshnessVerdict verdict = daemon->IsFresh(0).value();
+  EXPECT_EQ(verdict.epoch, 1u);
+  EXPECT_DOUBLE_EQ(verdict.fresh_probability, 1.0);
+  EXPECT_TRUE(verdict.fresh);
+  const AgeEstimate age = daemon->ExpectedAge(0).value();
+  EXPECT_DOUBLE_EQ(age.expected_age, 0.0);
+}
+
+TEST(FreshendDaemonTest, RejectsBadOptionsAndBadIds) {
+  obs::MetricsRegistry registry;
+  auto options = DaemonOptions(&registry);
+  options.freshness_threshold = 1.5;
+  EXPECT_FALSE(FreshendDaemon::Create(TestCatalog(10), 5.0, options).ok());
+
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(10), 5.0, DaemonOptions(&registry))
+          .value();
+  EXPECT_FALSE(daemon->IsFresh(10).ok());
+  EXPECT_FALSE(daemon->ExpectedAge(999).ok());
+  EXPECT_FALSE(daemon->GetPlan(10).ok());
+}
+
+TEST(FreshendDaemonTest, RunsPeriodsAndPublishesEachBoundary) {
+  obs::MetricsRegistry registry;
+  auto options = DaemonOptions(&registry);
+  options.max_periods = 4;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(200), 50.0, options).value();
+  ASSERT_TRUE(daemon->Start().ok());
+  while (daemon->running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  daemon->Stop();
+  EXPECT_EQ(daemon->PeriodsRun(), 4u);
+
+  SnapshotRef snapshot = daemon->AcquireSnapshot();
+  ASSERT_TRUE(snapshot);
+  // Initial publish + one per period.
+  EXPECT_EQ(snapshot->epoch(), 5u);
+  EXPECT_DOUBLE_EQ(snapshot->stats().published_at, 4.0);
+  EXPECT_TRUE(snapshot->CheckConsistent());
+
+  // Something synced by now; its freshness math must be in range.
+  bool found_synced = false;
+  for (size_t i = 0; i < daemon->size() && !found_synced; ++i) {
+    if (snapshot->Lookup(i).last_sync_time > 0.0) {
+      found_synced = true;
+      const FreshnessVerdict verdict = daemon->IsFresh(i).value();
+      EXPECT_GT(verdict.fresh_probability, 0.0);
+      EXPECT_LE(verdict.fresh_probability, 1.0);
+      const AgeEstimate age = daemon->ExpectedAge(i).value();
+      EXPECT_GE(age.expected_age, 0.0);
+      EXPECT_LE(age.expected_age, age.elapsed + 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_synced);
+
+  const DaemonStats stats = daemon->Stats();
+  EXPECT_EQ(stats.periods, 4u);
+  EXPECT_EQ(stats.store.publications, 5u);
+  EXPECT_FALSE(stats.running);
+}
+
+TEST(FreshendDaemonTest, StopIsIdempotentAndQueriesSurviveIt) {
+  obs::MetricsRegistry registry;
+  auto options = DaemonOptions(&registry);
+  options.max_periods = 2;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(50), 12.0, options).value();
+  ASSERT_TRUE(daemon->Start().ok());
+  daemon->Stop();
+  daemon->Stop();
+  EXPECT_FALSE(daemon->running());
+  EXPECT_TRUE(daemon->IsFresh(0).ok());
+  EXPECT_TRUE(daemon->Stats().snapshot.epoch >= 1u);
+}
+
+TEST(FreshendDaemonTest, GetPlanExposesFrequencyAndShare) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(100), 25.0, DaemonOptions(&registry))
+          .value();
+  double total_share = 0.0;
+  for (size_t i = 0; i < daemon->size(); ++i) {
+    const PlanEntry entry = daemon->GetPlan(i).value();
+    EXPECT_GE(entry.frequency, 0.0);
+    if (entry.frequency > 0.0) {
+      EXPECT_DOUBLE_EQ(entry.interval, 1.0 / entry.frequency);
+    } else {
+      EXPECT_TRUE(std::isinf(entry.interval));
+    }
+    total_share += entry.bandwidth_share;
+  }
+  // The plan respects the bandwidth budget (elements have size 1 here or
+  // larger; the cold-start plan spends at most the budget).
+  EXPECT_LE(total_share, 25.0 * (1.0 + 1e-9));
+}
+
+// ---- Protocol -------------------------------------------------------------
+
+TEST(ProtocolTest, AnswersEveryVerb) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  ProtocolResponse response = HandleRequestLine(*daemon, "ISFRESH 3");
+  EXPECT_NE(response.line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"cmd\":\"isfresh\""), std::string::npos);
+  EXPECT_FALSE(response.close);
+
+  response = HandleRequestLine(*daemon, "age 3");  // Case-insensitive.
+  EXPECT_NE(response.line.find("\"expected_age\""), std::string::npos);
+
+  response = HandleRequestLine(*daemon, "PLAN 0");
+  EXPECT_NE(response.line.find("\"frequency\""), std::string::npos);
+
+  response = HandleRequestLine(*daemon, "STATS");
+  EXPECT_NE(response.line.find("\"epoch\":1"), std::string::npos);
+
+  response = HandleRequestLine(*daemon, "PING");
+  EXPECT_NE(response.line.find("\"cmd\":\"ping\""), std::string::npos);
+
+  response = HandleRequestLine(*daemon, "QUIT");
+  EXPECT_TRUE(response.close);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  for (const char* bad :
+       {"", "   ", "FROB 1", "ISFRESH", "ISFRESH x", "ISFRESH -1",
+        "ISFRESH 1 2 3", "AGE 99999"}) {
+    const ProtocolResponse response = HandleRequestLine(*daemon, bad);
+    EXPECT_NE(response.line.find("\"ok\":false"), std::string::npos)
+        << "request: \"" << bad << "\" answered: " << response.line;
+    EXPECT_FALSE(response.close);
+  }
+}
+
+// ---- LineServer shutdown ordering ----------------------------------------
+
+TEST(LineServerTest, StartStopWithoutTrafficIsClean) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  LineServer::Options options;
+  options.socket_path = testing::TempDir() + "serve_test_clean.sock";
+  options.registry = &registry;
+  auto server = LineServer::Start(daemon.get(), options).value();
+  EXPECT_TRUE(server->running());
+  server->Stop();
+  EXPECT_FALSE(server->running());
+  server->Stop();  // Idempotent.
+}
+
+TEST(LineServerTest, RejectsBadOptions) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  LineServer::Options options;
+  EXPECT_FALSE(LineServer::Start(daemon.get(), options).ok());
+  options.socket_path = "x";
+  EXPECT_FALSE(LineServer::Start(nullptr, options).ok());
+  options.socket_path = std::string(200, 'a');
+  EXPECT_FALSE(LineServer::Start(daemon.get(), options).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace freshen
