@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/table_writer.h"
 #include "mirror/online_loop.h"
 #include "obs/metrics.h"
@@ -239,11 +240,13 @@ int main() {
 
   if (std::FILE* file = std::fopen("BENCH_recorder.json", "w")) {
     std::fprintf(file,
-                 "{\"off_seconds\": %.6f, \"on_seconds\": %.6f, "
+                 "{\"hardware_threads\": %zu, "
+                 "\"off_seconds\": %.6f, \"on_seconds\": %.6f, "
                  "\"overhead_pct\": %.2f, \"events_per_run\": %llu, "
                  "\"dropped_per_run\": %llu, \"tasks_per_batch\": %zu, "
                  "\"batches\": %d}\n",
-                 off_seconds, on_seconds, overhead_pct,
+                 par::HardwareThreads(), off_seconds, on_seconds,
+                 overhead_pct,
                  (unsigned long long)recorder_stats.emitted,
                  (unsigned long long)recorder_stats.dropped, recorder_tasks,
                  recorder_batches);

@@ -7,6 +7,8 @@
 #include "common/timer.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
+#include "opt/problem.h"
+#include "stats/descriptive.h"
 
 namespace freshen {
 
@@ -35,6 +37,30 @@ Result<AdaptiveFreshener> AdaptiveFreshener::Create(std::vector<double> sizes,
     return Status::InvalidArgument(
         "learner smoothing must be positive for cold starts");
   }
+  if (options.delta.enable) {
+    if (options.planner.mode != PlanMode::kExact) {
+      return Status::InvalidArgument(
+          "incremental replanning requires the exact planner "
+          "(partitioned plans have no per-element solve to patch)");
+    }
+    if (!(options.delta.full_churn_threshold > 0.0)) {
+      return Status::InvalidArgument(
+          "delta.full_churn_threshold must be positive");
+    }
+    if (!(options.delta.value_deadband >= 0.0)) {
+      return Status::InvalidArgument("delta.value_deadband must be >= 0");
+    }
+  }
+  // Streaming trackers start from the same prior the batch path reports
+  // for unobserved elements, so the cold-start plans coincide.
+  options.streaming.initial_rate = options.prior_change_rate;
+  if (options.streaming.initial_rate < options.streaming.min_rate ||
+      options.streaming.initial_rate > options.streaming.max_rate ||
+      !(options.streaming.min_rate > 0.0) || !(options.streaming.gain > 0.0)) {
+    return Status::InvalidArgument(
+        "streaming options must satisfy 0 < min_rate <= prior <= max_rate "
+        "with positive gain");
+  }
   AdaptiveFreshener controller(std::move(sizes), bandwidth, options);
   // Install the initial plan from priors.
   FRESHEN_RETURN_IF_ERROR(
@@ -53,6 +79,11 @@ AdaptiveFreshener::AdaptiveFreshener(std::vector<double> sizes,
       watch_time_(sizes_.size(), 0.0),
       last_sync_time_(sizes_.size(), 0.0),
       synced_before_(sizes_.size(), 0),
+      streaming_(options.estimator_mode == RateEstimatorMode::kStreaming
+                     ? std::vector<StreamingRateEstimator>(
+                           sizes_.size(),
+                           StreamingRateEstimator(options.streaming))
+                     : std::vector<StreamingRateEstimator>()),
       frequencies_(sizes_.size(), 0.0) {
   obs::MetricsRegistry& registry = options_.registry != nullptr
                                        ? *options_.registry
@@ -70,12 +101,17 @@ void AdaptiveFreshener::ObserveSync(size_t element, bool changed,
                                     double now) {
   FRESHEN_CHECK(element < sizes_.size());
   if (synced_before_[element]) {
-    // Only gaps between consecutive syncs carry change evidence.
+    // Only gaps between consecutive syncs carry change evidence; gap <= 0
+    // is a zero-observation window (duplicate timestamp, clock step) and
+    // is ignored by both estimator modes.
     const double gap = now - last_sync_time_[element];
     if (gap > 0.0) {
       ++polls_[element];
       if (changed) ++changes_[element];
       watch_time_[element] += gap;
+      if (!streaming_.empty()) {
+        streaming_[element].ObservePoll(changed, gap);
+      }
     }
   }
   synced_before_[element] = 1;
@@ -84,6 +120,23 @@ void AdaptiveFreshener::ObserveSync(size_t element, bool changed,
 
 void AdaptiveFreshener::EndPeriod() { learner_.EndPeriod(); }
 
+double AdaptiveFreshener::BelievedChangeRate(size_t element) const {
+  FRESHEN_CHECK(element < sizes_.size());
+  if (!streaming_.empty()) {
+    return streaming_[element].observations() > 0
+               ? streaming_[element].rate()
+               : options_.prior_change_rate;
+  }
+  if (polls_[element] == 0) return options_.prior_change_rate;
+  // Bias-reduced detector estimate with the mean inter-sync gap as the
+  // effective poll interval (exact for equal gaps; a documented
+  // approximation otherwise). BiasReducedRate floors the zero-detection
+  // case away from the solver's absorbing lambda = 0 state.
+  return BiasReducedRate(polls_[element], changes_[element],
+                         watch_time_[element] /
+                             static_cast<double>(polls_[element]));
+}
+
 ElementSet AdaptiveFreshener::BelievedCatalog() const {
   ElementSet catalog(sizes_.size());
   const auto profile = learner_.Snapshot();
@@ -91,20 +144,80 @@ ElementSet AdaptiveFreshener::BelievedCatalog() const {
   for (size_t i = 0; i < sizes_.size(); ++i) {
     catalog[i].access_prob = (*profile)[i];
     catalog[i].size = sizes_[i];
-    if (polls_[i] == 0) {
-      catalog[i].change_rate = options_.prior_change_rate;
-    } else {
-      // Bias-reduced detector estimate with the mean inter-sync gap as the
-      // effective poll interval (exact for equal gaps; a documented
-      // approximation otherwise).
-      const double n = static_cast<double>(polls_[i]);
-      const double x = static_cast<double>(changes_[i]);
-      const double mean_gap = watch_time_[i] / n;
-      catalog[i].change_rate =
-          -std::log((n - x + 0.5) / (n + 0.5)) / mean_gap;
-    }
+    catalog[i].change_rate = BelievedChangeRate(i);
   }
   return catalog;
+}
+
+const CoreProblem* AdaptiveFreshener::solved_problem() const {
+  return replanner_ != nullptr ? &replanner_->problem() : nullptr;
+}
+
+Status AdaptiveFreshener::ReplanDelta() {
+  const ElementSet catalog = BelievedCatalog();
+  CoreProblem target =
+      options_.planner.technique == Technique::kPerceived
+          ? MakePerceivedProblem(catalog, bandwidth_,
+                                 options_.planner.size_aware)
+          : MakeGeneralProblem(catalog, bandwidth_,
+                               options_.planner.size_aware);
+  ReplanInfo info;
+  info.used_delta = true;
+  if (replanner_ == nullptr) {
+    DeltaReplanner::Options replan_options;
+    replan_options.threads = options_.delta.threads;
+    replan_options.full_churn_threshold = options_.delta.full_churn_threshold;
+    replan_options.registry = options_.registry;
+    FRESHEN_ASSIGN_OR_RETURN(
+        replanner_, DeltaReplanner::Create(std::move(target), replan_options));
+    info.path = ReplanPath::kFull;
+    info.dirty = sizes_.size();
+  } else {
+    // Deadbanded diff against the problem the current plan solves. The
+    // learner's renormalization nudges EVERY weight every period; the
+    // relative deadband keeps that global drift from forcing 100% churn,
+    // while any real movement (including activation/deactivation, where
+    // the old value 0 makes the band vacuous) is re-submitted.
+    const CoreProblem& solved = replanner_->problem();
+    const double band = options_.delta.value_deadband;
+    std::vector<ElementUpdate> updates;
+    for (size_t i = 0; i < sizes_.size(); ++i) {
+      const bool weight_moved =
+          std::fabs(target.weights[i] - solved.weights[i]) >
+          band * solved.weights[i];
+      const bool rate_moved =
+          std::fabs(target.change_rates[i] - solved.change_rates[i]) >
+          band * solved.change_rates[i];
+      if (weight_moved || rate_moved) {
+        updates.push_back({i, target.weights[i], target.change_rates[i],
+                           target.costs[i]});
+      }
+    }
+    FRESHEN_ASSIGN_OR_RETURN(DeltaReplanner::ReplanResult replan,
+                             replanner_->Replan(updates));
+    info.path = replan.path;
+    info.dirty = replan.dirty;
+    // The feasibility rescale below couples every frequency to the total
+    // spend: the plan is byte-unchanged only when the replanner's output
+    // is byte-unchanged everywhere.
+    info.all_touched = replan.all_touched || !replanner_->touched().empty();
+  }
+  // Materialize and apply the planner's feasibility rescale with the exact
+  // same arithmetic FreshenPlanner::Plan uses (KahanSum of size * f, then
+  // one in-place multiply), so a delta-mode plan is byte-identical to the
+  // full planner run on the solved catalog.
+  replanner_->MaterializeFrequencies(&frequencies_);
+  KahanSum spend_acc;
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    spend_acc.Add(sizes_[i] * frequencies_[i]);
+  }
+  const double spend = spend_acc.Total();
+  if (spend > 0.0) {
+    const double scale = bandwidth_ / spend;
+    for (double& f : frequencies_) f *= scale;
+  }
+  last_replan_ = info;
+  return Status::OK();
 }
 
 Result<bool> AdaptiveFreshener::MaybeReplan(double now, bool force) {
@@ -114,10 +227,16 @@ Result<bool> AdaptiveFreshener::MaybeReplan(double now, bool force) {
   }
   obs::ScopedSpan span("replan");
   WallTimer timer;
-  FRESHEN_ASSIGN_OR_RETURN(
-      FreshenPlan plan,
-      FreshenPlanner(options_.planner).Plan(BelievedCatalog(), bandwidth_));
-  frequencies_ = std::move(plan.frequencies);
+  if (options_.delta.enable) {
+    FRESHEN_RETURN_IF_ERROR(ReplanDelta());
+  } else {
+    FRESHEN_ASSIGN_OR_RETURN(
+        FreshenPlan plan,
+        FreshenPlanner(options_.planner).Plan(BelievedCatalog(), bandwidth_));
+    frequencies_ = std::move(plan.frequencies);
+    last_replan_ = ReplanInfo();
+    last_replan_.dirty = sizes_.size();
+  }
   last_plan_time_ = now;
   ++num_replans_;
   replans_counter_->Increment();

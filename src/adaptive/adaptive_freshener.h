@@ -17,19 +17,54 @@
 #define FRESHEN_ADAPTIVE_ADAPTIVE_FRESHENER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "core/planner.h"
+#include "estimate/change_estimator.h"
 #include "model/element.h"
 #include "obs/metrics.h"
+#include "opt/delta_replan.h"
 #include "profile/learner.h"
 
 namespace freshen {
 
+/// How the controller turns sync observations into believed change rates.
+enum class RateEstimatorMode {
+  /// Batched bias-reduced detector estimate over all evidence (the
+  /// paper's [4] form, with the zero-detection floor).
+  kBatchBiasReduced,
+  /// Streaming stochastic-approximation tracker (StreamingRateEstimator):
+  /// O(1) per sync, and only synced elements' beliefs move — the natural
+  /// dirty-set source for incremental replanning.
+  kStreaming,
+};
+
 /// Periodically re-planning freshening controller.
 class AdaptiveFreshener {
  public:
+  /// Incremental replanning configuration. When enabled (requires
+  /// PlanMode::kExact), period-boundary replans go through a DeltaReplanner
+  /// primed with the previous solve: only elements whose believed values
+  /// moved past the deadband are re-submitted, and the plan is re-derived
+  /// on the pinned/warm path instead of a cold O(N) solve. The resulting
+  /// frequencies are byte-identical to running the full planner on the
+  /// deadbanded (solved) catalog.
+  struct DeltaOptions {
+    bool enable = false;
+    /// Relative belief drift below which an element is NOT re-submitted
+    /// (the learner's renormalization nudges every weight every period;
+    /// without a deadband each replan would be 100% churn). 0 disables
+    /// deadbanding: any bit of drift re-submits.
+    double value_deadband = 1e-3;
+    /// Passed through to DeltaReplanner: dirty fraction above which the
+    /// replan falls back to a cold solve.
+    double full_churn_threshold = 0.05;
+    /// Worker threads for the replanner (0 = hardware concurrency).
+    size_t threads = 0;
+  };
+
   struct Options {
     /// Planner configuration used at every re-plan.
     PlannerOptions planner;
@@ -41,9 +76,31 @@ class AdaptiveFreshener {
     double replan_every_periods = 1.0;
     /// Change-rate prior used for elements with no sync evidence yet.
     double prior_change_rate = 1.0;
+    /// Change-rate estimation mode (see RateEstimatorMode).
+    RateEstimatorMode estimator_mode = RateEstimatorMode::kBatchBiasReduced;
+    /// Streaming-mode tuning (initial_rate is overridden by
+    /// prior_change_rate so the cold-start plan matches batch mode).
+    StreamingRateEstimator::Options streaming;
+    /// Incremental replanning (see DeltaOptions).
+    DeltaOptions delta;
     /// Metrics registry for replan counters/latency (freshen_adaptive_*).
     /// nullptr means the process-wide obs::MetricsRegistry::Global().
     obs::MetricsRegistry* registry = nullptr;
+  };
+
+  /// What the last installed plan did — the publication contract serving
+  /// layers consume (see serve::FreshendDaemon::PublishBoundary).
+  struct ReplanInfo {
+    /// True when the plan came from the incremental replanner.
+    bool used_delta = false;
+    /// Which replanner path ran (kFull for the non-delta planner).
+    ReplanPath path = ReplanPath::kFull;
+    /// Elements the last replan re-submitted (distinct).
+    size_t dirty = 0;
+    /// False only when the installed frequencies are provably byte-
+    /// identical to the previous plan's — a serving layer may then skip
+    /// republishing the plan entirely.
+    bool all_touched = true;
   };
 
   /// A controller over `sizes.size()` elements with the given per-period
@@ -73,12 +130,31 @@ class AdaptiveFreshener {
   /// estimated change rates, configured sizes).
   ElementSet BelievedCatalog() const;
 
+  /// One element's believed change rate — BelievedCatalog()[i].change_rate
+  /// without the O(N) construction, for per-shard publication paths.
+  double BelievedChangeRate(size_t element) const;
+
+  /// What the last installed plan did (meaningful after the first replan).
+  const ReplanInfo& last_replan() const { return last_replan_; }
+
+  /// In delta mode, the deadbanded problem the current plan actually
+  /// solves (weights/change_rates/costs per element). nullptr when delta
+  /// mode is off. The plan published by frequencies() is exact for THESE
+  /// values; believed values drift within the deadband between replans.
+  const CoreProblem* solved_problem() const;
+
   /// Number of plans installed so far (including the initial one).
   uint64_t num_replans() const { return num_replans_; }
 
  private:
   AdaptiveFreshener(std::vector<double> sizes, double bandwidth,
                     Options options);
+
+  /// Delta-mode replan body: diffs believed values against the solved
+  /// problem, routes the drifted elements through the DeltaReplanner, and
+  /// installs the materialized plan (with the planner's exact feasibility
+  /// rescale).
+  Status ReplanDelta();
 
   Options options_;
   std::vector<double> sizes_;
@@ -93,9 +169,17 @@ class AdaptiveFreshener {
   std::vector<double> last_sync_time_;
   std::vector<uint8_t> synced_before_;
 
+  // Streaming-mode per-element trackers (empty in batch mode).
+  std::vector<StreamingRateEstimator> streaming_;
+
   std::vector<double> frequencies_;
   double last_plan_time_ = 0.0;
   uint64_t num_replans_ = 0;
+
+  // Delta mode: the incremental replanner holding the deadbanded problem
+  // and the factored previous solve (created on the first replan).
+  std::unique_ptr<DeltaReplanner> replanner_;
+  ReplanInfo last_replan_;
 
   // Cached registry handles (valid for the registry's lifetime).
   obs::Counter* replans_counter_;

@@ -7,23 +7,65 @@
 
 namespace freshen {
 
+double BiasReducedRate(uint64_t polls, uint64_t changes, double mean_gap) {
+  FRESHEN_CHECK(polls >= 1);
+  FRESHEN_CHECK(mean_gap > 0.0);
+  const double n = static_cast<double>(polls);
+  if (changes == 0) {
+    // The raw formula is exactly 0 here, which the planner's active-set
+    // rule would make permanent (see header). Floor at the rate one "half
+    // detection" of evidence supports: -log(n / (n + 1/2)) ~ 1 / (2n).
+    return -std::log(n / (n + 0.5)) / mean_gap;
+  }
+  const double x = static_cast<double>(changes > polls ? polls : changes);
+  return -std::log((n - x + 0.5) / (n + 0.5)) / mean_gap;
+}
+
 ChangeRateEstimator::ChangeRateEstimator(double poll_interval)
     : poll_interval_(poll_interval) {
   FRESHEN_CHECK(poll_interval > 0.0);
 }
 
 void ChangeRateEstimator::RecordPoll(bool changed) {
+  RecordPoll(changed, poll_interval_);
+}
+
+void ChangeRateEstimator::RecordPoll(bool changed, double gap) {
+  if (!(gap > 0.0) || !std::isfinite(gap)) return;  // Nothing was observed.
   ++polls_;
   if (changed) ++changes_;
+  watched_time_ += gap;
 }
 
 Result<double> ChangeRateEstimator::EstimatedRate() const {
   if (polls_ == 0) {
     return Status::FailedPrecondition("no polls recorded yet");
   }
-  const double n = static_cast<double>(polls_);
-  const double x = static_cast<double>(changes_);
-  return -std::log((n - x + 0.5) / (n + 0.5)) / poll_interval_;
+  return BiasReducedRate(polls_, changes_,
+                         watched_time_ / static_cast<double>(polls_));
+}
+
+StreamingRateEstimator::StreamingRateEstimator()
+    : StreamingRateEstimator(Options()) {}
+
+StreamingRateEstimator::StreamingRateEstimator(Options options)
+    : options_(options), rate_(options.initial_rate) {
+  FRESHEN_CHECK(options.min_rate > 0.0);
+  FRESHEN_CHECK(options.min_rate <= options.max_rate);
+  FRESHEN_CHECK(options.initial_rate >= options.min_rate);
+  FRESHEN_CHECK(options.initial_rate <= options.max_rate);
+  FRESHEN_CHECK(options.gain > 0.0);
+}
+
+void StreamingRateEstimator::ObservePoll(bool changed, double gap) {
+  if (!(gap > 0.0) || !std::isfinite(gap)) return;  // Nothing was observed.
+  ++observations_;
+  const double x = changed ? 1.0 : 0.0;
+  const double predicted = -std::expm1(-rate_ * gap);
+  const double step = options_.gain / static_cast<double>(observations_);
+  rate_ += step * (x - predicted) / gap;
+  if (rate_ < options_.min_rate) rate_ = options_.min_rate;
+  if (rate_ > options_.max_rate) rate_ = options_.max_rate;
 }
 
 double SimulatePollEstimate(double true_rate, double poll_interval,

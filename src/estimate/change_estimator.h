@@ -10,7 +10,21 @@
 //
 //   lambda_hat = -log( (n - x + 1/2) / (n + 1/2) ) / tau
 //
-// which stays finite even when every poll saw a change.
+// which stays finite even when every poll saw a change. Two hardenings on
+// top of the textbook form, both driven by how the planner consumes these
+// estimates:
+//
+//   * Zero-detection floor. With x = 0 the formula collapses to exactly 0,
+//     and a change rate of exactly 0 removes the element from the solver's
+//     active set — it is never scheduled again, so it is never polled
+//     again, so the estimate can never recover (permanent poisoning from
+//     finite evidence). EstimatedRate() therefore floors the x = 0 case at
+//     -log(n / (n + 1/2)) / tau ~ 1 / (2 n tau): the rate whose likelihood
+//     of n silent polls is still unsurprising, decaying honestly as
+//     evidence accumulates but never reaching the absorbing zero.
+//   * Zero-observation windows. A poll gap <= 0 (replayed logs, clock
+//     steps, duplicate syncs at one timestamp) observes nothing; the
+//     gap-aware overload ignores it instead of corrupting the mean gap.
 #ifndef FRESHEN_ESTIMATE_CHANGE_ESTIMATOR_H_
 #define FRESHEN_ESTIMATE_CHANGE_ESTIMATOR_H_
 
@@ -21,28 +35,87 @@
 
 namespace freshen {
 
+/// The bias-reduced estimate from `polls` observations with `changes`
+/// detections over a mean inter-poll gap `mean_gap` > 0, with the
+/// zero-detection floor described above. Requires polls >= 1; shared by
+/// ChangeRateEstimator and the adaptive controller's believed catalog.
+double BiasReducedRate(uint64_t polls, uint64_t changes, double mean_gap);
+
 /// Accumulates poll outcomes for one element and estimates its change rate.
 class ChangeRateEstimator {
  public:
-  /// `poll_interval` is the (fixed) time between polls, > 0.
+  /// `poll_interval` is the default time between polls, > 0 — used by the
+  /// gap-less RecordPoll overload.
   explicit ChangeRateEstimator(double poll_interval);
 
   /// Records one poll outcome: `changed` is whether the element differed
-  /// from the previously fetched copy.
+  /// from the previously fetched copy. Assumes the default poll interval.
   void RecordPoll(bool changed);
+
+  /// Gap-aware overload for irregular polling: `gap` is the time since the
+  /// previous poll. A gap <= 0 (or non-finite) is a zero-observation
+  /// window and is ignored entirely.
+  void RecordPoll(bool changed, double gap);
 
   /// Number of polls recorded.
   uint64_t num_polls() const { return polls_; }
   /// Number of polls that detected a change.
   uint64_t num_changes() const { return changes_; }
 
-  /// The bias-reduced rate estimate. Fails before the first poll.
+  /// The bias-reduced rate estimate over the mean recorded gap, floored
+  /// away from zero when no poll detected a change (see file comment).
+  /// Fails before the first poll. Always positive and finite afterwards.
   Result<double> EstimatedRate() const;
 
  private:
   double poll_interval_;
   uint64_t polls_ = 0;
   uint64_t changes_ = 0;
+  double watched_time_ = 0.0;
+};
+
+/// Streaming stochastic-approximation rate tracker (after Avrachenkov et
+/// al.-style online estimators): one O(1) update per poll, no counters or
+/// windows to store — the form the adaptive controller uses to feed the
+/// incremental replanner a small dirty set every period. For observation k
+/// with inter-poll gap tau and outcome x in {0, 1}:
+///
+///   lambda <- clamp(lambda + (gain / k) * (x - (1 - e^{-lambda tau})) / tau)
+///
+/// E[x] = 1 - e^{-lambda* tau}, so the expected update vanishes exactly at
+/// the true rate and the Robbins-Monro iterates converge to it; the clamp
+/// keeps early transients inside [min_rate, max_rate] (min_rate > 0 keeps
+/// the estimate out of the solver's absorbing zero state). Gaps <= 0 are
+/// zero-observation windows and are ignored.
+class StreamingRateEstimator {
+ public:
+  struct Options {
+    /// Estimate before any evidence (the controller's prior).
+    double initial_rate = 1.0;
+    /// Clamp bounds, 0 < min_rate <= initial_rate <= max_rate.
+    double min_rate = 1e-9;
+    double max_rate = 1e9;
+    /// Step-size scale; the k-th step is gain / k.
+    double gain = 2.0;
+  };
+
+  StreamingRateEstimator();
+  explicit StreamingRateEstimator(Options options);
+
+  /// Folds in one poll outcome observed over `gap` time units. A gap <= 0
+  /// (or non-finite) is ignored.
+  void ObservePoll(bool changed, double gap);
+
+  /// Current estimate (initial_rate until the first informative poll).
+  double rate() const { return rate_; }
+
+  /// Informative polls folded in so far.
+  uint64_t observations() const { return observations_; }
+
+ private:
+  Options options_;
+  double rate_;
+  uint64_t observations_ = 0;
 };
 
 /// Simulates `num_polls` polls of a Poisson(lambda) element at interval tau

@@ -103,7 +103,19 @@ Result<Allocation> KktWaterFillingSolver::Solve(
   // marginal value equals mu across the whole gap, so giving it the slack
   // preserves every other element's stationarity exactly. Otherwise spend
   // is locally continuous and a proportional rescale is below tolerance.
-  const double spend = problem.Spend(out.frequencies, &exec);
+  //
+  // The spend feeding this step uses the decomposable block-Kahan tree over
+  // the active elements' cost*frequency (opt/scan_breakpoint.h) rather than
+  // problem.Spend: the delta replanner maintains the same tree
+  // incrementally, so its residual/rescale arithmetic lands on the same
+  // bits as this cold path.
+  std::vector<double> finish_contrib(active);
+  exec.ForEach(active, [&](size_t k) {
+    finish_contrib[k] = problem.costs[index[k]] * frequencies[k];
+  });
+  std::vector<double> finish_partials;
+  SpendBlockPartials(finish_contrib, &exec, &finish_partials);
+  const double spend = MergeSpendBlockPartials(finish_partials);
   double residual = problem.bandwidth - spend;
   if (residual > 0.0) {
     // A boundary element is one parked at the cutoff: its zero-frequency

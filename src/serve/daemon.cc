@@ -66,6 +66,10 @@ FreshendDaemon::FreshendDaemon(Options options, size_t num_elements)
       "freshen_serve_queries_total", {{"kind", "get_plan"}});
   stats_queries_counter_ = registry_->GetCounter(
       "freshen_serve_queries_total", {{"kind", "stats"}});
+  full_publish_counter_ = registry_->GetCounter(
+      "freshen_serve_publishes_total", {{"kind", "full"}});
+  delta_publish_counter_ = registry_->GetCounter(
+      "freshen_serve_publishes_total", {{"kind", "delta"}});
   publish_seconds_ = registry_->GetHistogram(
       "freshen_serve_publish_seconds", obs::LatencySecondsBuckets());
 }
@@ -79,7 +83,13 @@ void FreshendDaemon::PublishBoundary(bool replanned,
                                      const std::vector<uint32_t>& synced) {
   obs::ScopedSpan span("serve_publish", *registry_);
   WallTimer timer;
-  const bool rebuild_all = catalog_dirty_ || replanned;
+  // A delta-mode replan whose plan is provably byte-identical to the
+  // previous one (pinned/no-op path: all_touched == false) does not force
+  // the O(N) rebuild: frequency_ is still exact, and only the shards this
+  // period actually touched republish.
+  const bool plan_unchanged =
+      replanned && !loop_->controller().last_replan().all_touched;
+  const bool rebuild_all = catalog_dirty_ || (replanned && !plan_unchanged);
   if (rebuild_all) {
     // A replan can move every frequency and the controller's beliefs; the
     // whole catalog republishes. This is the O(N) slow path — it runs once
@@ -96,6 +106,16 @@ void FreshendDaemon::PublishBoundary(bool replanned,
     catalog_dirty_ = false;
   } else {
     for (uint32_t id : synced) builder_.MarkDirty(id);
+    if (plan_unchanged) {
+      // O(synced) delta publication: refresh the believed change rate of
+      // the shards that synced (their beliefs are what moved). access_prob_
+      // may drift within the controller's deadband until the next full
+      // publish — the plan those probabilities produced is byte-unchanged,
+      // so served verdicts stay consistent with the installed plan.
+      for (uint32_t id : synced) {
+        change_rate_[id] = loop_->controller().BelievedChangeRate(id);
+      }
+    }
   }
   const MirrorState& mirror = loop_->mirror();
   for (uint32_t id : synced) {
@@ -107,6 +127,7 @@ void FreshendDaemon::PublishBoundary(bool replanned,
       last_sync_);
   FRESHEN_CHECK(snapshot.ok());
   store_.Publish(std::move(*snapshot));
+  (rebuild_all ? full_publish_counter_ : delta_publish_counter_)->Increment();
   publish_seconds_->Record(timer.ElapsedSeconds());
 }
 

@@ -192,6 +192,8 @@ class FreshendDaemon {
   obs::Counter* age_queries_counter_;
   obs::Counter* plan_queries_counter_;
   obs::Counter* stats_queries_counter_;
+  obs::Counter* full_publish_counter_;
+  obs::Counter* delta_publish_counter_;
   obs::Histogram* publish_seconds_;
 
   // Builder state note: set when the next publication must rebuild all

@@ -1,7 +1,8 @@
 // Tests for the closed-loop AdaptiveFreshener: cold start, evidence
-// accumulation, re-plan cadence, and convergence toward the oracle plan on
-// a synthetic ground truth.
+// accumulation, re-plan cadence, delta-mode parity with the full planner,
+// and convergence toward the oracle plan on a synthetic ground truth.
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -20,6 +21,12 @@ AdaptiveFreshener::Options DefaultOptions() {
   options.replan_every_periods = 1.0;
   options.prior_change_rate = 2.0;
   return options;
+}
+
+bool SameBytes(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
 }
 
 TEST(AdaptiveTest, ColdStartInstallsUniformPlan) {
@@ -92,6 +99,120 @@ TEST(AdaptiveTest, RejectsInvalidConfigurations) {
   auto bad_smoothing = DefaultOptions();
   bad_smoothing.learner.smoothing = 0.0;
   EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, bad_smoothing).ok());
+}
+
+TEST(AdaptiveTest, DeltaModeRejectsInvalidConfigurations) {
+  auto partitioned = DefaultOptions();
+  partitioned.delta.enable = true;
+  partitioned.planner.mode = PlanMode::kPartitioned;
+  EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, partitioned).ok());
+  auto bad_threshold = DefaultOptions();
+  bad_threshold.delta.enable = true;
+  bad_threshold.delta.full_churn_threshold = 0.0;
+  EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, bad_threshold).ok());
+  auto bad_band = DefaultOptions();
+  bad_band.delta.enable = true;
+  bad_band.delta.value_deadband = -1e-3;
+  EXPECT_FALSE(AdaptiveFreshener::Create({1.0}, 1.0, bad_band).ok());
+}
+
+// Delta-mode parity: with a zero deadband, the delta controller sees the
+// exact believed catalog every period, so its installed plan must be
+// byte-identical to a full planner run in a twin controller fed the same
+// observation stream — the delta path is an optimization, never a
+// different answer.
+TEST(AdaptiveTest, DeltaModePlansMatchFullPlannerByteForByte) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 80;
+  spec.syncs_per_period = 40.0;
+  spec.theta = 1.2;
+  spec.alignment = Alignment::kShuffled;
+  const ElementSet truth = GenerateCatalog(spec).value();
+
+  auto full_options = DefaultOptions();
+  auto delta_options = DefaultOptions();
+  delta_options.delta.enable = true;
+  delta_options.delta.value_deadband = 0.0;  // Re-submit every drift.
+  delta_options.delta.threads = 1;
+  auto full = AdaptiveFreshener::Create(Sizes(truth), spec.syncs_per_period,
+                                        full_options)
+                  .value();
+  auto delta = AdaptiveFreshener::Create(Sizes(truth), spec.syncs_per_period,
+                                         delta_options)
+                   .value();
+  ASSERT_TRUE(SameBytes(full.frequencies(), delta.frequencies()));
+
+  Rng rng(77);
+  AliasTable traffic(AccessProbs(truth));
+  for (int period = 1; period <= 12; ++period) {
+    for (int a = 0; a < 800; ++a) {
+      const size_t element = traffic.Sample(rng);
+      full.ObserveAccess(element);
+      delta.ObserveAccess(element);
+    }
+    const auto freqs = full.frequencies();
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (freqs[i] <= 0.0) continue;
+      const double gap = 1.0 / freqs[i];
+      const double t = static_cast<double>(period - 1);
+      const double p_change = -std::expm1(-truth[i].change_rate * gap);
+      const bool changed = rng.NextBool(p_change);
+      full.ObserveSync(i, changed, t);
+      delta.ObserveSync(i, changed, t);
+    }
+    full.EndPeriod();
+    delta.EndPeriod();
+    ASSERT_TRUE(full.MaybeReplan(period).value());
+    ASSERT_TRUE(delta.MaybeReplan(period).value());
+    ASSERT_TRUE(SameBytes(full.frequencies(), delta.frequencies()))
+        << "plans diverged at period " << period;
+    EXPECT_TRUE(delta.last_replan().used_delta);
+    EXPECT_FALSE(full.last_replan().used_delta);
+  }
+  EXPECT_NE(delta.solved_problem(), nullptr);
+  EXPECT_EQ(full.solved_problem(), nullptr);
+}
+
+// With a deadband and no new evidence, a replan re-submits nothing, the
+// replanner reports a pinned no-op, and the controller surfaces
+// all_touched == false — the serving layer's cue to skip republication.
+TEST(AdaptiveTest, QuiescentDeltaReplansReportPlanUnchanged) {
+  auto options = DefaultOptions();
+  options.delta.enable = true;
+  options.delta.value_deadband = 1e-3;
+  options.delta.threads = 1;
+  auto controller =
+      AdaptiveFreshener::Create({1.0, 1.0, 1.0}, 2.0, options).value();
+  const std::vector<double> cold = controller.frequencies();
+  // No observations between replans: beliefs are bit-stable, so the diff is
+  // empty and the plan must not move.
+  for (int period = 1; period <= 3; ++period) {
+    ASSERT_TRUE(controller.MaybeReplan(period).value());
+    EXPECT_TRUE(controller.last_replan().used_delta);
+    EXPECT_EQ(controller.last_replan().dirty, 0u);
+    EXPECT_FALSE(controller.last_replan().all_touched);
+    ASSERT_TRUE(SameBytes(controller.frequencies(), cold));
+  }
+}
+
+TEST(AdaptiveTest, StreamingModeTracksChangeRates) {
+  auto options = DefaultOptions();
+  options.estimator_mode = RateEstimatorMode::kStreaming;
+  auto controller =
+      AdaptiveFreshener::Create({1.0, 1.0}, 2.0, options).value();
+  // Cold start: both modes report the prior.
+  EXPECT_DOUBLE_EQ(controller.BelievedChangeRate(0), 2.0);
+  // Element 0 changes on every observed gap, element 1 never.
+  for (int k = 0; k < 400; ++k) {
+    controller.ObserveSync(0, /*changed=*/k > 0, 0.25 * k);
+    controller.ObserveSync(1, /*changed=*/false, 0.25 * k);
+  }
+  EXPECT_GT(controller.BelievedChangeRate(0), 4.0);
+  EXPECT_LT(controller.BelievedChangeRate(1), 0.5);
+  // Believed catalog and the per-element accessor agree.
+  const ElementSet believed = controller.BelievedCatalog();
+  EXPECT_DOUBLE_EQ(believed[0].change_rate, controller.BelievedChangeRate(0));
+  EXPECT_DOUBLE_EQ(believed[1].change_rate, controller.BelievedChangeRate(1));
 }
 
 // End-to-end convergence: drive the controller against a synthetic ground

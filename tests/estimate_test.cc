@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "estimate/change_estimator.h"
+#include "rng/rng.h"
 
 namespace freshen {
 namespace {
@@ -61,6 +62,79 @@ TEST(PollRecoveryTest, TooCoarsePollingUnderestimates) {
   // log(2n) / tau, far below a very fast true rate.
   const double estimate = SimulatePollEstimate(100.0, 1.0, 1000, 77);
   EXPECT_LT(estimate, 20.0);
+}
+
+TEST(ChangeRateEstimatorTest, ZeroDetectionsFlooredAwayFromZero) {
+  // lambda_hat = 0 exactly would drop the element from the solver's active
+  // set permanently (never scheduled -> never polled -> never recovers).
+  // The floor must be positive, match -log(n/(n+1/2))/tau, and decay as
+  // silent evidence accumulates.
+  ChangeRateEstimator estimator(2.0);
+  estimator.RecordPoll(false);
+  const double one = estimator.EstimatedRate().value();
+  EXPECT_GT(one, 0.0);
+  EXPECT_NEAR(one, -std::log(1.0 / 1.5) / 2.0, 1e-15);
+  for (int i = 0; i < 99; ++i) estimator.RecordPoll(false);
+  const double hundred = estimator.EstimatedRate().value();
+  EXPECT_GT(hundred, 0.0);
+  EXPECT_LT(hundred, one);
+  EXPECT_NEAR(hundred, -std::log(100.0 / 100.5) / 2.0, 1e-15);
+  // One detection immediately dominates the floor.
+  estimator.RecordPoll(true);
+  EXPECT_GT(estimator.EstimatedRate().value(), hundred);
+}
+
+TEST(ChangeRateEstimatorTest, ZeroObservationWindowsAreIgnored) {
+  ChangeRateEstimator estimator(1.0);
+  estimator.RecordPoll(true, 0.0);    // Duplicate timestamp.
+  estimator.RecordPoll(true, -3.0);   // Clock step backwards.
+  estimator.RecordPoll(true, std::nan(""));
+  EXPECT_EQ(estimator.num_polls(), 0u);
+  EXPECT_FALSE(estimator.EstimatedRate().ok());
+  // Irregular but positive gaps feed the mean-gap form.
+  estimator.RecordPoll(true, 1.0);
+  estimator.RecordPoll(false, 3.0);
+  const double expected = BiasReducedRate(2, 1, 2.0);
+  EXPECT_NEAR(estimator.EstimatedRate().value(), expected, 1e-15);
+}
+
+TEST(StreamingRateEstimatorTest, ConvergesToTrueRate) {
+  for (double true_rate : {0.2, 1.0, 5.0}) {
+    StreamingRateEstimator estimator;
+    Rng rng(42);
+    const double tau = 0.7 / true_rate;
+    const double p_change = -std::expm1(-true_rate * tau);
+    for (int i = 0; i < 50000; ++i) {
+      estimator.ObservePoll(rng.NextBool(p_change), tau);
+    }
+    EXPECT_NEAR(estimator.rate(), true_rate, 0.1 * true_rate)
+        << "true rate " << true_rate;
+  }
+}
+
+TEST(StreamingRateEstimatorTest, IgnoresZeroObservationWindows) {
+  StreamingRateEstimator estimator;
+  const double before = estimator.rate();
+  estimator.ObservePoll(true, 0.0);
+  estimator.ObservePoll(true, -1.0);
+  estimator.ObservePoll(false, std::nan(""));
+  EXPECT_EQ(estimator.observations(), 0u);
+  EXPECT_EQ(estimator.rate(), before);
+}
+
+TEST(StreamingRateEstimatorTest, ClampKeepsEstimateOutOfAbsorbingStates) {
+  StreamingRateEstimator::Options options;
+  options.initial_rate = 1.0;
+  options.min_rate = 0.01;
+  options.max_rate = 10.0;
+  StreamingRateEstimator estimator(options);
+  // A run of silent polls over long gaps drives the estimate down hard —
+  // but never to (or below) zero.
+  for (int i = 0; i < 1000; ++i) estimator.ObservePoll(false, 100.0);
+  EXPECT_GE(estimator.rate(), options.min_rate);
+  // And a run of detections over tiny gaps never escapes the ceiling.
+  for (int i = 0; i < 1000; ++i) estimator.ObservePoll(true, 1e-4);
+  EXPECT_LE(estimator.rate(), options.max_rate);
 }
 
 TEST(SampleChangeRatioTest, MatchesExpectedFractionOnHomogeneousSet) {

@@ -1,6 +1,7 @@
 // Tests for the versioned source/mirror state machines and the online
 // closed-loop runtime.
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -240,6 +241,35 @@ TEST(OnlineLoopTest, StatsAgreeWithRegistryCountersToTheLastSync) {
   // An isolated registry means none of this leaked into the global one...
   // and the controller reported its replans into the same local registry.
   ASSERT_NE(snapshot.Find("freshen_adaptive_replans_total"), nullptr);
+}
+
+// Delta-mode loop: period boundaries route replans through the incremental
+// replanner and PeriodStats surfaces which path ran.
+TEST(OnlineLoopTest, DeltaModeReplansSurfaceInPeriodStats) {
+  ExperimentSpec spec = ExperimentSpec::IdealCase();
+  spec.num_objects = 60;
+  spec.syncs_per_period = 30.0;
+  const ElementSet truth = GenerateCatalog(spec).value();
+  OnlineFreshenLoop::Options options = LoopOptions();
+  options.controller.delta.enable = true;
+  options.controller.delta.threads = 1;
+  auto loop = OnlineFreshenLoop::Create(truth, 30.0, options).value();
+  for (int period = 0; period < 5; ++period) {
+    const PeriodStats stats = loop.RunPeriod();
+    ASSERT_TRUE(stats.replanned);
+    EXPECT_TRUE(stats.replan_used_delta);
+    const std::string path = stats.replan_path;
+    EXPECT_TRUE(path == "pinned" || path == "warm" || path == "full") << path;
+  }
+  EXPECT_NE(loop.controller().solved_problem(), nullptr);
+
+  // The non-delta loop reports the full-planner defaults.
+  auto classic = OnlineFreshenLoop::Create(truth, 30.0, LoopOptions()).value();
+  const PeriodStats stats = classic.RunPeriod();
+  ASSERT_TRUE(stats.replanned);
+  EXPECT_FALSE(stats.replan_used_delta);
+  EXPECT_STREQ(stats.replan_path, "full");
+  EXPECT_TRUE(stats.plan_all_touched);
 }
 
 TEST(OnlineLoopTest, RejectsInvalidInput) {

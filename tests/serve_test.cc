@@ -347,6 +347,52 @@ TEST(FreshendDaemonTest, RunsPeriodsAndPublishesEachBoundary) {
   EXPECT_FALSE(stats.running);
 }
 
+// Delta publication: a delta-mode controller with a wide deadband never
+// re-submits anything (beliefs drift inside the band), every boundary
+// replan is a provable plan no-op, and the daemon skips the O(N) rebuild —
+// only the initial publish is a full one. Synced shards still republish
+// with their refreshed believed change rate.
+TEST(FreshendDaemonTest, UnchangedPlansPublishOnlySyncedShards) {
+  obs::MetricsRegistry registry;
+  auto options = DaemonOptions(&registry);
+  options.loop.accesses_per_period = 0.0;  // Keep the learned profile flat.
+  options.loop.controller.delta.enable = true;
+  options.loop.controller.delta.threads = 1;
+  options.loop.controller.delta.value_deadband = 50.0;
+  options.max_periods = 4;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(100), 25.0, options).value();
+  ASSERT_TRUE(daemon->Start().ok());
+  while (daemon->running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  daemon->Stop();
+
+  // One full publish (the initial snapshot), four delta publishes.
+  const double full = registry
+                          .GetCounter("freshen_serve_publishes_total",
+                                      {{"kind", "full"}})
+                          ->value();
+  const double delta = registry
+                           .GetCounter("freshen_serve_publishes_total",
+                                       {{"kind", "delta"}})
+                           ->value();
+  EXPECT_DOUBLE_EQ(full, 1.0);
+  EXPECT_DOUBLE_EQ(delta, 4.0);
+
+  // Epochs still advance once per boundary and the snapshot stays
+  // consistent; synced shards carry fresh last-sync times.
+  SnapshotRef snapshot = daemon->AcquireSnapshot();
+  ASSERT_TRUE(snapshot);
+  EXPECT_EQ(snapshot->epoch(), 5u);
+  EXPECT_TRUE(snapshot->CheckConsistent());
+  bool found_synced = false;
+  for (size_t i = 0; i < daemon->size(); ++i) {
+    if (snapshot->Lookup(i).last_sync_time > 0.0) found_synced = true;
+  }
+  EXPECT_TRUE(found_synced);
+}
+
 TEST(FreshendDaemonTest, StopIsIdempotentAndQueriesSurviveIt) {
   obs::MetricsRegistry registry;
   auto options = DaemonOptions(&registry);
