@@ -60,11 +60,22 @@
 //
 //   serve-drill [--objects N] [--bandwidth B] [--periods P] [--accesses A]
 //               [--error-rate E] [--socket PATH] [--seed K]
-//       End-to-end drill of the freshend serving stack: start a
-//       FreshendDaemon with a fault-injecting executor, serve the line
-//       protocol on a UNIX socket, fire ISFRESH/AGE/PLAN/STATS queries over
-//       the socket while the loop churns, then drain gracefully and verify
-//       every pinned snapshot was internally consistent.
+//       End-to-end drill of the freshend serving stack, two acts. Act 1:
+//       start a FreshendDaemon with a fault-injecting executor, serve the
+//       line protocol on a UNIX socket, fire ISFRESH/AGE/PLAN/STATS plus the
+//       admin verbs (METRICS/HEALTH/SLO/SLOWLOG) over the socket while the
+//       loop churns, then drain gracefully and verify every pinned snapshot
+//       was internally consistent. Act 2: a wall-paced daemon with a
+//       deliberately wrong rate prior takes a scripted source outage; the
+//       drill watches the freshness SLO walk ok -> alert -> ok (live, over
+//       a WATCH stream), and verifies the drift detector caught the bad
+//       prior and forced an early replan. Non-zero exit if any act fails.
+//
+//   top   --socket PATH [--interval S] [--count N]
+//       Live terminal view of a running freshend: subscribes to the admin
+//       WATCH stream and renders one line per sample (periods, epoch,
+//       queries, freshness, SLO state + burn rates, drift score) until the
+//       stream ends (--count samples reached, daemon shutdown, or Ctrl-C).
 //
 // plan and eval accept --catalog-format csv|binary|auto (default auto:
 // binary when the file carries the FRSHCAT1 magic, CSV otherwise).
@@ -91,15 +102,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -754,6 +769,62 @@ bool SocketExchange(int fd, const std::string& request,
   }
 }
 
+// Reads one newline-terminated line (used for WATCH streams, where one
+// request yields many response lines).
+bool ReadSocketLine(int fd, std::string* line) {
+  line->clear();
+  char ch;
+  for (;;) {
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    if (ch == '\n') return true;
+    line->push_back(ch);
+  }
+}
+
+// Connects to a freshend UNIX socket; returns the fd or dies.
+int ConnectUnixSocket(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    Die(Status::InvalidArgument("socket path too long: " + socket_path));
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Die(Status::Internal(StrFormat("connect(%s): %s", socket_path.c_str(),
+                                   std::strerror(errno))));
+  }
+  return fd;
+}
+
+// Minimal field extraction from the daemon's one-line JSON responses —
+// enough for display and drill assertions, not a JSON parser.
+std::string JsonStringField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) return "";
+  const size_t begin = start + needle.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+double JsonNumberField(const std::string& line, const std::string& key,
+                       double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t start = line.find(needle);
+  if (start == std::string::npos) return fallback;
+  const char* text = line.c_str() + start + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  return end == text ? fallback : value;
+}
+
 // replan-drill: pushes a seeded churn stream (tail decay, uniform jitter,
 // and structural appends) through a DeltaReplanner and memcmp-verifies every
 // step against a cold scan solve of the identical problem. The drill's
@@ -878,6 +949,192 @@ int RunReplanDrill(const std::map<std::string, std::string>& flags) {
   return parity ? 0 : 1;
 }
 
+// serve-drill act 2: the telemetry plane under a scripted outage. A
+// wall-paced daemon starts with a deliberately wrong change-rate prior and
+// a replan cadence parked far out, so only the drift detector can fix the
+// plan — it must flag the bad prior and force the early replan. Then the
+// (healthy) source goes hard-down: the freshness SLO must walk
+// ok -> alert, and back to ok once the outage clears — observed both
+// in-process and live over a WATCH stream on a second connection.
+bool RunTelemetryAct(const ElementSet& truth, uint64_t seed, bool quick,
+                     const std::string& socket_path) {
+  obs::MetricsRegistry registry;
+  sync::SimulatedSource::Options source_options;
+  source_options.base_latency_seconds = 0.0;
+  source_options.mean_jitter_seconds = 0.0;
+  source_options.error_rate = 1.0;  // hard-down while faults are enabled
+  source_options.seed = seed ^ 0x6f7574ULL;
+  sync::SimulatedSource source =
+      Unwrap(sync::SimulatedSource::Create(source_options));
+  source.SetFaultsEnabled(false);  // begin healthy
+  sync::SyncExecutor::Options executor_options;
+  executor_options.seed = seed ^ 0x657865ULL;
+  executor_options.registry = &registry;
+  auto executor =
+      Unwrap(sync::SyncExecutor::Create(&source, executor_options));
+
+  serve::FreshendDaemon::Options options;
+  options.loop.accesses_per_period = quick ? 400.0 : 1000.0;
+  options.loop.seed = seed ^ 0x746f70ULL;
+  options.loop.registry = &registry;
+  options.loop.executor = executor.get();
+  // Wrong by ~200x against the generated catalog's mean rate, and the
+  // scheduled replan will never arrive on its own.
+  options.loop.controller.replan_every_periods = 1000.0;
+  options.loop.controller.prior_change_rate = 0.01;
+  options.registry = &registry;
+  options.period_seconds = 0.02;  // wall pacing, so WATCH samples live
+  options.slo.objective = 0.9;
+  options.slo.good_is_age_slo = true;
+  options.slo.age_slo = 1.0;
+  options.slo.fast_window_periods = 2.0;
+  options.slo.slow_window_periods = 6.0;
+  options.slo.warn_burn_rate = 2.0;
+  options.slo.page_burn_rate = 6.0;
+  options.drift.min_evidence = 2.0;
+  options.drift.replan_consecutive_periods = 2;
+  options.drift_replan = true;
+  options.slowlog.threshold_seconds = 0.0;  // record every admin request
+  // Bandwidth 2x the catalog: with syncs plentiful, "good" accesses are the
+  // healthy norm and the outage is the only thing that can page.
+  auto daemon = Unwrap(serve::FreshendDaemon::Create(
+      truth, 2.0 * static_cast<double>(truth.size()), options));
+
+  serve::LineServer::Options server_options;
+  server_options.socket_path = socket_path;
+  server_options.registry = &registry;
+  auto server =
+      Unwrap(serve::LineServer::Start(daemon.get(), server_options));
+  if (const Status started = daemon->Start(); !started.ok()) Die(started);
+
+  // Subscribe the live view before anything interesting happens.
+  const int watch_fd = ConnectUnixSocket(socket_path);
+  std::string response;
+  if (!SocketExchange(watch_fd, "WATCH 0.01", &response) ||
+      response.find("\"ok\":true") == std::string::npos) {
+    Die(Status::Internal("WATCH subscription failed"));
+  }
+  std::mutex watch_mu;
+  std::vector<std::string> watch_states;
+  std::thread watcher([&] {
+    std::string line;
+    while (ReadSocketLine(watch_fd, &line)) {
+      if (line.find("\"cmd\":\"watch_sample\"") != std::string::npos) {
+        std::lock_guard<std::mutex> lock(watch_mu);
+        watch_states.push_back(JsonStringField(line, "slo_state"));
+      } else if (line.find("\"cmd\":\"watch_end\"") != std::string::npos) {
+        break;
+      }
+    }
+  });
+
+  // Generous ceiling: the walk normally completes in well under a second.
+  const auto wait_until = [](auto&& done) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!done()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  };
+
+  const int admin = ConnectUnixSocket(socket_path);
+  bool act_ok = true;
+  const auto expect = [&](const char* what, bool condition) {
+    if (!condition) {
+      std::printf("telemetry   : FAILED at %s\n", what);
+      act_ok = false;
+    }
+  };
+
+  // Healthy warmup: enough periods for the drift-forced replan to land and
+  // the SLO windows to fill with good periods.
+  expect("warmup", wait_until([&] { return daemon->PeriodsRun() >= 6; }));
+  expect("drift-forced early replan", wait_until([&] {
+           return daemon->drift()->Report().replans_triggered >= 1;
+         }));
+  expect("clean slo", wait_until([&] {
+           return daemon->slo()->state() == obs::SloState::kOk;
+         }));
+  SocketExchange(admin, "SLO", &response);
+  expect("SLO reports the ok state",
+         response.find("\"state\":\"ok\"") != std::string::npos &&
+             response.find("\"drift\"") != std::string::npos);
+
+  // The watch stream's own view, for ordering assertions: has it sampled a
+  // bad state yet, and a healthy state after that?
+  const auto watch_walked = [&](bool want_recovered) {
+    std::lock_guard<std::mutex> lock(watch_mu);
+    bool bad = false;
+    for (const std::string& state : watch_states) {
+      if (state == "burning" || state == "alert") {
+        if (!want_recovered) return true;
+        bad = true;
+      } else if (bad && state == "ok") {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Outage: every sync fails, copies age out, the burn rate must page.
+  source.SetFaultsEnabled(true);
+  expect("alert during outage", wait_until([&] {
+           return daemon->slo()->state() == obs::SloState::kAlert;
+         }));
+  SocketExchange(admin, "HEALTH", &response);
+  expect("HEALTH sees the alert",
+         JsonStringField(response, "slo_state") == "alert");
+  expect("watch streamed the outage",
+         wait_until([&] { return watch_walked(false); }));
+
+  // Recovery: faults clear; the fast window forgives within a few periods.
+  source.SetFaultsEnabled(false);
+  expect("recovery to ok", wait_until([&] {
+           return daemon->slo()->state() == obs::SloState::kOk;
+         }));
+  expect("watch streamed the recovery",
+         wait_until([&] { return watch_walked(true); }));
+
+  SocketExchange(admin, "SLOWLOG", &response);
+  expect("SLOWLOG recorded the admin traffic",
+         JsonNumberField(response, "recorded", 0.0) >= 1.0);
+
+  // Any input on the watch connection ends the stream; only write here —
+  // the watcher thread owns the read side until it sees watch_end.
+  const char nudge[] = "PING\n";
+  (void)!::write(watch_fd, nudge, sizeof(nudge) - 1);
+  watcher.join();
+  ::close(watch_fd);
+  ::close(admin);
+  server->Stop();
+  daemon->Stop();
+
+  // The live stream must have seen the whole walk: healthy, then
+  // burning/alert, then healthy again.
+  bool saw_clean = false;
+  bool saw_bad = false;
+  bool saw_recovered = false;
+  for (const std::string& state : watch_states) {
+    if (state == "burning" || state == "alert") {
+      saw_bad = true;
+    } else if (state == "ok") {
+      (saw_bad ? saw_recovered : saw_clean) = true;
+    }
+  }
+  expect("watch stream saw the walk", saw_clean && saw_bad && saw_recovered);
+
+  const obs::DriftReport drift = daemon->drift()->Report();
+  std::printf("slo walk    : ok -> alert -> ok over %zu live watch samples\n",
+              watch_states.size());
+  std::printf("drift       : early replans=%llu aggregate score=%.3f\n",
+              (unsigned long long)drift.replans_triggered,
+              drift.aggregate_score);
+  std::printf("telemetry   : %s\n", act_ok ? "PASS" : "FAIL");
+  return act_ok;
+}
+
 int RunServeDrill(const std::map<std::string, std::string>& flags) {
   const bool quick = QuickMode();
   ExperimentSpec spec;
@@ -929,18 +1186,10 @@ int RunServeDrill(const std::map<std::string, std::string>& flags) {
   if (const Status started = daemon->Start(); !started.ok()) Die(started);
 
   // Query over the socket while the loop churns: connect once, walk the
-  // catalog with every verb, and verify each answer parses as ok.
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  const int client = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (client < 0 ||
-      ::connect(client, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Die(Status::Internal(StrFormat("connect(%s): %s", socket_path.c_str(),
-                                   std::strerror(errno))));
-  }
+  // catalog with every verb, and verify each answer parses as ok. Each
+  // round also exercises the whole admin plane (metrics export in both
+  // formats, health, SLO, slow-query ring).
+  const int client = ConnectUnixSocket(socket_path);
   uint64_t sent = 0;
   uint64_t ok = 0;
   std::string response;
@@ -955,11 +1204,15 @@ int RunServeDrill(const std::map<std::string, std::string>& flags) {
         if (response.find("\"ok\":true") != std::string::npos) ++ok;
       }
     }
-    if (!SocketExchange(client, "STATS", &response)) {
-      Die(Status::Internal("connection dropped on STATS"));
+    for (const char* admin : {"STATS", "METRICS json", "METRICS prom",
+                              "HEALTH", "SLO", "SLOWLOG"}) {
+      if (!SocketExchange(client, admin, &response)) {
+        Die(Status::Internal(
+            StrFormat("connection dropped on %s", admin)));
+      }
+      ++sent;
+      if (response.find("\"ok\":true") != std::string::npos) ++ok;
     }
-    ++sent;
-    if (response.find("\"ok\":true") != std::string::npos) ++ok;
   }
   // Graceful drain: loop already stopped (max_periods); stop the transport,
   // then check the final snapshot's digests from the reader side.
@@ -984,9 +1237,65 @@ int RunServeDrill(const std::map<std::string, std::string>& flags) {
   std::printf("queries     : %llu sent over socket, %llu ok\n",
               (unsigned long long)sent, (unsigned long long)ok);
   std::printf("consistency : %s\n", consistent ? "OK" : "FAILED");
-  const bool passed = consistent && sent > 0 && ok == sent;
+  const bool act1 = consistent && sent > 0 && ok == sent;
+  const bool act2 =
+      RunTelemetryAct(truth, spec.seed, quick, socket_path + ".telemetry");
+  const bool passed = act1 && act2;
   std::printf("serve drill : %s\n", passed ? "PASS" : "FAIL");
   return passed ? 0 : 1;
+}
+
+// top: subscribe to a running freshend's WATCH stream and render a live,
+// one-line-per-sample view of the serving plane.
+int RunTop(const std::map<std::string, std::string>& flags) {
+  const std::string socket_path = GetFlag(flags, "--socket", "");
+  if (socket_path.empty()) {
+    Die(Status::InvalidArgument("top requires --socket PATH"));
+  }
+  const double interval = GetDouble(flags, "--interval", 1.0);
+  const uint64_t count =
+      static_cast<uint64_t>(GetDouble(flags, "--count", 0.0));
+
+  const int fd = ConnectUnixSocket(socket_path);
+  std::string line;
+  const std::string subscribe =
+      count > 0 ? StrFormat("WATCH %g %llu", interval,
+                            (unsigned long long)count)
+                : StrFormat("WATCH %g", interval);
+  if (!SocketExchange(fd, subscribe, &line) ||
+      line.find("\"ok\":true") == std::string::npos) {
+    std::fprintf(stderr, "WATCH rejected: %s\n", line.c_str());
+    ::close(fd);
+    return 1;
+  }
+  std::printf("%-6s %8s %8s %10s %7s %9s %6s %6s %7s %6s\n", "seq",
+              "uptime", "periods", "queries", "fresh", "slo", "fast",
+              "slow", "budget", "drift");
+  while (ReadSocketLine(fd, &line)) {
+    if (line.find("\"cmd\":\"watch_end\"") != std::string::npos) {
+      std::printf("stream ended: %s after %.0f samples\n",
+                  JsonStringField(line, "reason").c_str(),
+                  JsonNumberField(line, "samples", 0.0));
+      break;
+    }
+    if (line.find("\"cmd\":\"watch_sample\"") == std::string::npos) continue;
+    const std::string slo_state = JsonStringField(line, "slo_state");
+    std::printf(
+        "%-6.0f %7.1fs %8.0f %10.0f %6.1f%% %9s %6.2f %6.2f %6.0f%% %6.2f\n",
+        JsonNumberField(line, "seq", 0.0),
+        JsonNumberField(line, "uptime_seconds", 0.0),
+        JsonNumberField(line, "periods", 0.0),
+        JsonNumberField(line, "queries", 0.0),
+        100.0 * JsonNumberField(line, "perceived_freshness", 0.0),
+        slo_state.empty() ? "-" : slo_state.c_str(),
+        JsonNumberField(line, "fast_burn", 0.0),
+        JsonNumberField(line, "slow_burn", 0.0),
+        100.0 * JsonNumberField(line, "budget_remaining", 1.0),
+        JsonNumberField(line, "drift_score", 0.0));
+    std::fflush(stdout);
+  }
+  ::close(fd);
+  return 0;
 }
 
 }  // namespace
@@ -995,7 +1304,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: freshenctl <gen|plan|eval|metrics|sync-drill|trace"
-                 "|convert|replan-drill|serve-drill> [--flags]\n"
+                 "|convert|replan-drill|serve-drill|top> [--flags]\n"
                  "see the header of examples/freshenctl.cc for details\n");
     return 2;
   }
@@ -1025,6 +1334,8 @@ int main(int argc, char** argv) {
     rc = RunReplanDrill(flags);
   } else if (command == "serve-drill") {
     rc = RunServeDrill(flags);
+  } else if (command == "top") {
+    rc = RunTop(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;

@@ -22,6 +22,17 @@
 //   --error-rate E        sync fault injection (0 disables the executor)
 //   --seed K              randomness seed
 //   --metrics-out FILE    write the final metrics snapshot (JSON) on exit
+//   --slo-objective F     freshness SLO: target good-access fraction
+//   --age-slo S           age threshold (periods) scoring accesses as good
+//   --slo-age-mode 0|1    1: "good" means within --age-slo; 0: strictly
+//                         fresh (default)
+//   --drift-replan 0|1    1: sustained estimator drift forces an early
+//                         replan (default 0: detect and report only)
+//   --slowlog-threshold S SLOWLOG records requests handled slower than S
+//   --slowlog-capacity N  SLOWLOG ring size
+//
+// The admin plane (METRICS/HEALTH/SLO/SLOWLOG/WATCH) is always served;
+// `freshenctl top --socket PATH` renders the WATCH stream live.
 //
 // SIGTERM/SIGINT trigger a graceful drain: the loop finishes its period and
 // publishes its final snapshot, the server stops accepting, in-flight
@@ -159,6 +170,18 @@ int main(int argc, char** argv) {
   options.max_periods =
       static_cast<uint64_t>(GetDouble(flags, "--periods", 0));
   options.registry = &registry;
+  options.slo.objective =
+      GetDouble(flags, "--slo-objective", options.slo.objective);
+  options.slo.age_slo = GetDouble(flags, "--age-slo", options.slo.age_slo);
+  options.slo.good_is_age_slo =
+      GetDouble(flags, "--slo-age-mode",
+                options.slo.good_is_age_slo ? 1.0 : 0.0) != 0.0;
+  options.drift_replan = GetDouble(flags, "--drift-replan", 0.0) != 0.0;
+  options.slowlog.threshold_seconds = GetDouble(
+      flags, "--slowlog-threshold", options.slowlog.threshold_seconds);
+  options.slowlog.capacity = static_cast<size_t>(GetDouble(
+      flags, "--slowlog-capacity",
+      static_cast<double>(options.slowlog.capacity)));
   auto daemon =
       Unwrap(serve::FreshendDaemon::Create(truth, bandwidth, options));
 

@@ -237,6 +237,17 @@ Result<bool> AdaptiveFreshener::MaybeReplan(double now, bool force) {
     last_replan_ = ReplanInfo();
     last_replan_.dirty = sizes_.size();
   }
+  // Freeze the rates this plan was solved with (the drift detector's
+  // reference point). Delta mode solves the deadbanded problem, not the
+  // raw beliefs, so take the rates from the solved problem there.
+  if (options_.delta.enable && replanner_ != nullptr) {
+    planned_rates_ = replanner_->problem().change_rates;
+  } else {
+    planned_rates_.resize(sizes_.size());
+    for (size_t i = 0; i < sizes_.size(); ++i) {
+      planned_rates_[i] = BelievedChangeRate(i);
+    }
+  }
   last_plan_time_ = now;
   ++num_replans_;
   replans_counter_->Increment();

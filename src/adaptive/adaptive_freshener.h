@@ -134,6 +134,16 @@ class AdaptiveFreshener {
   /// without the O(N) construction, for per-shard publication paths.
   double BelievedChangeRate(size_t element) const;
 
+  /// The change rates the CURRENT plan was solved against, captured at the
+  /// last replan (delta mode: the deadbanded solved problem's rates; full
+  /// mode: the believed rates at replan time). Beliefs keep drifting with
+  /// new evidence between replans — the gap between these and fresh
+  /// observations is what obs::DriftDetector scores. Always populated
+  /// (Create installs the initial plan).
+  const std::vector<double>& PlannedChangeRates() const {
+    return planned_rates_;
+  }
+
   /// What the last installed plan did (meaningful after the first replan).
   const ReplanInfo& last_replan() const { return last_replan_; }
 
@@ -173,6 +183,7 @@ class AdaptiveFreshener {
   std::vector<StreamingRateEstimator> streaming_;
 
   std::vector<double> frequencies_;
+  std::vector<double> planned_rates_;
   double last_plan_time_ = 0.0;
   uint64_t num_replans_ = 0;
 

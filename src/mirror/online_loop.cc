@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/drift.h"
 #include "obs/recorder.h"
+#include "obs/slo.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "profile/profile.h"
@@ -118,6 +120,11 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   EmitPeriodEvent(recorder, obs::EventPhase::kBegin, period_start,
                   period_start);
   obs::StalenessTimeline* const timeline = options_.timeline;
+  obs::SloMonitor* const slo = options_.slo;
+  obs::DriftDetector* const drift = options_.drift;
+  // Accesses served within the SLO monitor's age threshold (fresh counts
+  // too: age 0). Only tracked when a monitor is attached.
+  uint64_t age_good_accesses = 0;
   PeriodStats stats;
   std::vector<LoopEvent> events;
 
@@ -205,8 +212,15 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
           timeline->MarkFresh(event.element, event.time);
         }
       }
+      const double previous_sync = mirror_.LastSyncTime(event.element);
       const bool changed = mirror_.Sync(event.element, event.time, source_);
       controller_->ObserveSync(event.element, changed, event.time);
+      if (drift != nullptr) {
+        // The copy has existed since t=0, so a first sync's watched window
+        // starts there (LastSyncTime is 0 before the first sync).
+        drift->ObserveSync(event.element, changed,
+                           event.time - previous_sync);
+      }
       if (options_.on_period_end) synced_scratch_.push_back(event.element);
       syncs_counter_->Increment();
       bandwidth_counter_->Add(truth_[event.element].size);
@@ -216,12 +230,14 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
       accesses_counter_->Increment();
       if (mirror_.IsFresh(event.element, source_)) {
         fresh_accesses_counter_->Increment();
+        ++age_good_accesses;  // Age 0 is within any age SLO.
         if (timeline != nullptr) {
           timeline->OnAccess(event.element, event.time, 0.0);
         }
       } else {
         const double age = mirror_.Age(event.element, event.time, source_);
         age_sum.Add(age);
+        if (slo != nullptr && age <= slo->age_slo()) ++age_good_accesses;
         if (timeline != nullptr) {
           timeline->OnAccess(event.element, event.time, age);
         }
@@ -283,6 +299,31 @@ PeriodStats OnlineFreshenLoop::RunPeriod() {
   }
   if (rated > 0) {
     lambda_error_gauge_->Set(error_sum.Total() / static_cast<double>(rated));
+  }
+
+  if (drift != nullptr) {
+    // Score this period's evidence against the rates the CURRENT plan was
+    // solved with (pre-forced-replan, by construction: EndPeriod first).
+    drift->EndPeriod(now_, controller_->PlannedChangeRates());
+    if (options_.drift_replan && !stats.replanned &&
+        drift->replan_recommended()) {
+      auto forced = controller_->MaybeReplan(now_, /*force=*/true);
+      FRESHEN_CHECK(forced.ok());
+      if (*forced) {
+        drift->AcknowledgeReplan();
+        const AdaptiveFreshener::ReplanInfo& info =
+            controller_->last_replan();
+        stats.replanned = true;
+        stats.replan_used_delta = info.used_delta;
+        stats.replan_path = ToString(info.path);
+        stats.plan_all_touched = info.all_touched;
+      }
+    }
+  }
+  if (slo != nullptr) {
+    slo->ObservePeriod(now_, stats.accesses,
+                       static_cast<uint64_t>(fresh_accesses),
+                       age_good_accesses);
   }
   if (options_.on_period_end) {
     std::sort(synced_scratch_.begin(), synced_scratch_.end());

@@ -31,6 +31,8 @@
 
 namespace freshen {
 namespace obs {
+class DriftDetector;
+class SloMonitor;
 class StalenessTimeline;
 }  // namespace obs
 
@@ -101,6 +103,22 @@ class OnlineFreshenLoop {
     /// rankings). Its window should start at 0 and end at/after the last
     /// period the caller will run. Non-owning; must outlive the loop.
     obs::StalenessTimeline* timeline = nullptr;
+    /// Optional freshness SLO monitor. When set, every access is also
+    /// scored against its age_slo() threshold and the boundary feeds it
+    /// one ObservePeriod(now, accesses, fresh, age_good) sample — this is
+    /// what drives the freshen_slo_* burn-rate alerting. Non-owning; must
+    /// outlive the loop. Loop-thread writes only.
+    obs::SloMonitor* slo = nullptr;
+    /// Optional estimator drift detector. When set, every applied sync
+    /// feeds it (element, changed, gap since the previous sync) and the
+    /// boundary scores the evidence against the controller's
+    /// PlannedChangeRates(). Non-owning; must outlive the loop.
+    obs::DriftDetector* drift = nullptr;
+    /// When true (and `drift` is set), a sustained drift recommendation
+    /// forces an early replan at the boundary instead of waiting out the
+    /// controller's cadence. Off by default: detection is free, acting on
+    /// it is a policy decision.
+    bool drift_replan = false;
     /// Publication hook for serving (freshend): when set, RunPeriod invokes
     /// it once at the period boundary, after the controller's replan
     /// decision, with this period's stats and the sorted, deduplicated ids

@@ -1,0 +1,59 @@
+#include "obs/build_info.h"
+
+#include "common/string_util.h"
+#include "obs/export.h"
+
+// The build system stamps these (src/CMakeLists.txt); the fallbacks keep
+// non-CMake compiles (tooling, IDE indexers) working.
+#ifndef FRESHEN_BUILD_VERSION
+#define FRESHEN_BUILD_VERSION "0.0.0"
+#endif
+#ifndef FRESHEN_BUILD_COMPILER
+#define FRESHEN_BUILD_COMPILER "unknown"
+#endif
+#ifndef FRESHEN_BUILD_TYPE
+#define FRESHEN_BUILD_TYPE "unknown"
+#endif
+#ifndef FRESHEN_BUILD_FLAGS
+#define FRESHEN_BUILD_FLAGS ""
+#endif
+
+namespace freshen {
+namespace obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      FRESHEN_BUILD_VERSION, FRESHEN_BUILD_COMPILER, FRESHEN_BUILD_TYPE,
+      FRESHEN_BUILD_FLAGS,
+#if defined(__cplusplus)
+      __cplusplus >= 202002L ? "c++20" : "pre-c++20",
+#else
+      "unknown",
+#endif
+  };
+  return info;
+}
+
+void ExportBuildInfo(MetricsRegistry* registry) {
+  MetricsRegistry& r =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  const BuildInfo& info = GetBuildInfo();
+  r.GetGauge("freshen_build_info", {{"build_type", info.build_type},
+                                    {"compiler", info.compiler},
+                                    {"flags", info.flags},
+                                    {"version", info.version}})
+      ->Set(1.0);
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  return StrFormat(
+      "{\"version\":\"%s\",\"compiler\":\"%s\",\"build_type\":\"%s\","
+      "\"flags\":\"%s\",\"cxx_standard\":\"%s\"}",
+      JsonEscape(info.version).c_str(), JsonEscape(info.compiler).c_str(),
+      JsonEscape(info.build_type).c_str(), JsonEscape(info.flags).c_str(),
+      JsonEscape(info.cxx_standard).c_str());
+}
+
+}  // namespace obs
+}  // namespace freshen

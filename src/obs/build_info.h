@@ -1,0 +1,39 @@
+// Build identification, exported the Prometheus way: a constant
+// `freshen_build_info` gauge whose value is always 1 and whose labels carry
+// the interesting facts (version, compiler, build type, flags). Dashboards
+// join on it to answer "which build is serving this traffic?" without the
+// binary having to expose a bespoke endpoint.
+#ifndef FRESHEN_OBS_BUILD_INFO_H_
+#define FRESHEN_OBS_BUILD_INFO_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace freshen {
+namespace obs {
+
+/// Compile-time facts about this binary. All strings are static.
+struct BuildInfo {
+  const char* version;     // Project version (CMake project VERSION).
+  const char* compiler;    // "GNU 13.2.0"-style compiler id.
+  const char* build_type;  // Release / Debug / RelWithDebInfo...
+  const char* flags;       // Notable flag summary (native ISA, sanitizer).
+  const char* cxx_standard;
+};
+
+/// The facts baked into this binary.
+const BuildInfo& GetBuildInfo();
+
+/// Registers the constant freshen_build_info{version=...,compiler=...,
+/// build_type=...,flags=...} = 1 gauge. Idempotent; nullptr = process-wide
+/// registry.
+void ExportBuildInfo(MetricsRegistry* registry = nullptr);
+
+/// The same facts as a single-line JSON object (for STATS payloads).
+std::string BuildInfoJson();
+
+}  // namespace obs
+}  // namespace freshen
+
+#endif  // FRESHEN_OBS_BUILD_INFO_H_

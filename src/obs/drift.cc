@@ -1,0 +1,164 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace freshen {
+namespace obs {
+
+DriftDetector::DriftDetector(Options options)
+    : options_(options),
+      polls_(options.num_elements, 0.0),
+      changes_(options.num_elements, 0.0),
+      watch_time_(options.num_elements, 0.0),
+      mu_(new std::mutex),
+      recommend_(new std::atomic<bool>(false)) {
+  MetricsRegistry& registry =
+      options_.registry != nullptr ? *options_.registry
+                                   : MetricsRegistry::Global();
+  aggregate_gauge_ = registry.GetGauge("freshen_drift_aggregate_score");
+  max_gauge_ = registry.GetGauge("freshen_drift_max_score");
+  flagged_gauge_ = registry.GetGauge("freshen_drift_flagged_elements");
+  replans_counter_ = registry.GetCounter("freshen_drift_replans_triggered");
+}
+
+Result<DriftDetector> DriftDetector::Create(Options options) {
+  if (options.num_elements == 0) {
+    return Status::InvalidArgument("DriftDetector: num_elements must be > 0");
+  }
+  if (!(options.decay > 0.0 && options.decay <= 1.0)) {
+    return Status::InvalidArgument("DriftDetector: decay must be in (0, 1]");
+  }
+  if (!(options.min_evidence >= 1.0)) {
+    return Status::InvalidArgument("DriftDetector: min_evidence must be >= 1");
+  }
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("DriftDetector: top_k must be > 0");
+  }
+  if (!(options.flag_threshold > 0.0) || !(options.replan_score > 0.0)) {
+    return Status::InvalidArgument(
+        "DriftDetector: thresholds must be positive");
+  }
+  if (options.replan_consecutive_periods == 0) {
+    return Status::InvalidArgument(
+        "DriftDetector: replan_consecutive_periods must be >= 1");
+  }
+  if (!(options.rate_floor > 0.0)) {
+    return Status::InvalidArgument("DriftDetector: rate_floor must be > 0");
+  }
+  return DriftDetector(options);
+}
+
+void DriftDetector::ObserveSync(size_t element, bool changed, double gap) {
+  if (element >= polls_.size()) return;
+  if (!(gap > 0.0) || !std::isfinite(gap)) return;
+  polls_[element] += 1.0;
+  if (changed) changes_[element] += 1.0;
+  watch_time_[element] += gap;
+}
+
+void DriftDetector::EndPeriod(double now,
+                              const std::vector<double>& planned_rates) {
+  DriftReport report;
+  report.now = now;
+  report.top.reserve(options_.top_k);
+
+  double weighted_score = 0.0;
+  double weight = 0.0;
+  const size_t n = std::min(polls_.size(), planned_rates.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double p = polls_[i];
+    const double w = watch_time_[i];
+    if (p < options_.min_evidence || !(w > 0.0)) continue;
+    // Bias-reduced rate from poll evidence: with mean inter-poll gap w/p
+    // and detection ratio c/p, a Poisson change process has
+    // rate = -ln(1 - c/p) / (w/p). Cap the ratio so all-changed evidence
+    // yields a large finite rate instead of infinity.
+    const double ratio = std::min(changes_[i] / p, 0.999);
+    const double observed =
+        std::max(-std::log1p(-ratio) / (w / p), options_.rate_floor);
+    const double planned = std::max(
+        i < planned_rates.size() ? planned_rates[i] : 0.0,
+        options_.rate_floor);
+    const double score = std::fabs(std::log(observed / planned));
+
+    ++report.scored_elements;
+    weighted_score += score * p;
+    weight += p;
+    report.max_score = std::max(report.max_score, score);
+    if (score >= options_.flag_threshold) ++report.flagged_elements;
+
+    if (report.top.size() < options_.top_k ||
+        score > report.top.back().score) {
+      DriftOffender offender;
+      offender.element = i;
+      offender.planned_rate = planned;
+      offender.observed_rate = observed;
+      offender.score = score;
+      offender.evidence = p;
+      auto pos = std::upper_bound(
+          report.top.begin(), report.top.end(), offender,
+          [](const DriftOffender& a, const DriftOffender& b) {
+            return a.score > b.score;
+          });
+      report.top.insert(pos, offender);
+      if (report.top.size() > options_.top_k) report.top.pop_back();
+    }
+  }
+  if (weight > 0.0) report.aggregate_score = weighted_score / weight;
+
+  // Debounced recommendation: require sustained aggregate drift.
+  if (report.aggregate_score >= options_.replan_score &&
+      report.scored_elements > 0) {
+    ++periods_above_;
+  } else {
+    periods_above_ = 0;
+    recommend_->store(false, std::memory_order_release);
+  }
+  if (periods_above_ >= options_.replan_consecutive_periods) {
+    recommend_->store(true, std::memory_order_release);
+  }
+  report.periods_above_threshold = periods_above_;
+  report.replan_recommended =
+      recommend_->load(std::memory_order_relaxed);
+  report.replans_triggered = replans_triggered_;
+
+  aggregate_gauge_->Set(report.aggregate_score);
+  max_gauge_->Set(report.max_score);
+  flagged_gauge_->Set(static_cast<double>(report.flagged_elements));
+
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    report_ = std::move(report);
+  }
+
+  // Decay AFTER scoring so the period's own syncs count at full weight.
+  if (options_.decay < 1.0) {
+    for (size_t i = 0; i < polls_.size(); ++i) {
+      polls_[i] *= options_.decay;
+      changes_[i] *= options_.decay;
+      watch_time_[i] *= options_.decay;
+    }
+  }
+}
+
+void DriftDetector::AcknowledgeReplan() {
+  recommend_->store(false, std::memory_order_release);
+  periods_above_ = 0;
+  ++replans_triggered_;
+  replans_counter_->Increment();
+  std::lock_guard<std::mutex> lock(*mu_);
+  report_.replan_recommended = false;
+  report_.periods_above_threshold = 0;
+  report_.replans_triggered = replans_triggered_;
+}
+
+DriftReport DriftDetector::Report() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return report_;
+}
+
+}  // namespace obs
+}  // namespace freshen

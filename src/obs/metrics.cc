@@ -204,7 +204,16 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
       case MetricKind::kHistogram:
         sample.bounds = entry.histogram->bounds();
         sample.bucket_counts = entry.histogram->BucketCounts();
-        sample.count = entry.histogram->count();
+        // Prometheus conformance: the +Inf cumulative bucket MUST equal
+        // _count in one exposition. Record() bumps bucket then count, so
+        // reading count() here could exceed the bucket sum mid-Record;
+        // derive the count from the buckets we actually copied instead
+        // (the sum may still trail by the in-flight observation, which is
+        // the documented tearing tolerance).
+        sample.count = 0;
+        for (uint64_t bucket_count : sample.bucket_counts) {
+          sample.count += bucket_count;
+        }
         sample.sum = entry.histogram->sum();
         break;
     }

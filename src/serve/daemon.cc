@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/build_info.h"
 #include "obs/trace.h"
 
 namespace freshen {
@@ -17,6 +18,11 @@ Result<std::unique_ptr<FreshendDaemon>> FreshendDaemon::Create(
   if (options.loop.on_period_end) {
     return Status::InvalidArgument(
         "loop.on_period_end is owned by the daemon; leave it unset");
+  }
+  if (options.loop.slo != nullptr || options.loop.drift != nullptr) {
+    return Status::InvalidArgument(
+        "loop.slo/loop.drift are owned by the daemon; leave them unset "
+        "(configure Options::slo / Options::drift instead)");
   }
   if (!(options.freshness_threshold >= 0.0 &&
         options.freshness_threshold <= 1.0)) {
@@ -32,6 +38,29 @@ Result<std::unique_ptr<FreshendDaemon>> FreshendDaemon::Create(
   const size_t n = truth.size();
   std::unique_ptr<FreshendDaemon> daemon(new FreshendDaemon(options, n));
   daemon->size_ = Sizes(truth);
+
+  // Telemetry plane: the daemon owns the monitor/detector and hands the
+  // loop raw pointers (the daemon outlives its loop by construction).
+  if (options.enable_slo) {
+    Options& opts = daemon->options_;
+    if (opts.slo.registry == nullptr) opts.slo.registry = opts.registry;
+    FRESHEN_ASSIGN_OR_RETURN(obs::SloMonitor monitor,
+                             obs::SloMonitor::Create(opts.slo));
+    daemon->slo_ = std::make_unique<obs::SloMonitor>(std::move(monitor));
+    daemon->options_.loop.slo = daemon->slo_.get();
+  }
+  if (options.enable_drift) {
+    Options& opts = daemon->options_;
+    opts.drift.num_elements = n;
+    if (opts.drift.registry == nullptr) opts.drift.registry = opts.registry;
+    FRESHEN_ASSIGN_OR_RETURN(obs::DriftDetector detector,
+                             obs::DriftDetector::Create(opts.drift));
+    daemon->drift_ =
+        std::make_unique<obs::DriftDetector>(std::move(detector));
+    daemon->options_.loop.drift = daemon->drift_.get();
+    daemon->options_.loop.drift_replan = options.drift_replan;
+  }
+
   daemon->options_.loop.on_period_end =
       [d = daemon.get()](const PeriodStats& stats,
                          const std::vector<uint32_t>& synced) {
@@ -55,9 +84,12 @@ FreshendDaemon::FreshendDaemon(Options options, size_t num_elements)
       num_elements_(num_elements),
       builder_(num_elements),
       store_(options_.registry),
+      slow_log_(std::make_unique<SlowQueryLog>(options_.slowlog)),
       registry_(options_.registry != nullptr
                     ? options_.registry
                     : &obs::MetricsRegistry::Global()) {
+  obs::ExportBuildInfo(registry_);
+  uptime_gauge_ = registry_->GetGauge("freshen_uptime_seconds");
   fresh_queries_counter_ = registry_->GetCounter(
       "freshen_serve_queries_total", {{"kind", "is_fresh"}});
   age_queries_counter_ = registry_->GetCounter("freshen_serve_queries_total",
@@ -249,6 +281,7 @@ DaemonStats FreshendDaemon::Stats() const {
       plan_queries_counter_->value() + stats_queries_counter_->value());
   stats.pinned_readers = store_.PinnedReaders();
   stats.running = running_.load(std::memory_order_acquire);
+  uptime_gauge_->Set(UptimeSeconds());
   stats_queries_counter_->Increment();
   return stats;
 }

@@ -30,8 +30,12 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/timer.h"
 #include "mirror/online_loop.h"
+#include "obs/drift.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/slowlog.h"
 #include "serve/snapshot.h"
 #include "serve/store.h"
 
@@ -104,6 +108,21 @@ class FreshendDaemon {
     /// Registry for freshen_serve_* metrics; nullptr = process-wide. Also
     /// used for the loop unless loop.registry names its own.
     obs::MetricsRegistry* registry = nullptr;
+    /// Freshness SLO monitoring (the SLO/HEALTH/WATCH telemetry source).
+    /// The daemon owns the monitor and wires it into the loop; loop.slo
+    /// must be unset. slo.registry defaults to the daemon's registry.
+    bool enable_slo = true;
+    obs::SloMonitor::Options slo;
+    /// Estimator drift detection. The daemon owns the detector and wires
+    /// it into the loop; loop.drift must be unset. drift.num_elements is
+    /// filled from the catalog; drift.registry defaults to the daemon's.
+    bool enable_drift = true;
+    obs::DriftDetector::Options drift;
+    /// When true, sustained drift forces an early replan (see
+    /// OnlineFreshenLoop::Options::drift_replan). Off by default.
+    bool drift_replan = false;
+    /// Slow-query ring configuration (SLOWLOG).
+    SlowQueryLog::Options slowlog;
   };
 
   /// Builds the loop, publishes the initial snapshot (epoch 1, from the
@@ -160,6 +179,25 @@ class FreshendDaemon {
   /// The hosted loop (loop-thread state; inspect only while stopped).
   const OnlineFreshenLoop& loop() const { return *loop_; }
 
+  // ---- Telemetry plane (any thread) -------------------------------------
+
+  /// The SLO monitor (nullptr when Options::enable_slo was false). Its
+  /// Report()/state() are safe to read while the loop runs.
+  const obs::SloMonitor* slo() const { return slo_.get(); }
+
+  /// The drift detector (nullptr when Options::enable_drift was false).
+  const obs::DriftDetector* drift() const { return drift_.get(); }
+
+  /// The slow-query ring. Never null; the protocol layer records into it.
+  SlowQueryLog* slow_log() const { return slow_log_.get(); }
+
+  /// The registry this daemon (and its loop/server) reports into.
+  obs::MetricsRegistry& registry() const { return *registry_; }
+
+  /// Seconds since Create(). Also published as the freshen_uptime_seconds
+  /// gauge on every Stats() sample.
+  double UptimeSeconds() const { return uptime_timer_.ElapsedSeconds(); }
+
  private:
   FreshendDaemon(Options options, size_t num_elements);
 
@@ -187,7 +225,16 @@ class FreshendDaemon {
   std::mutex pacing_mu_;
   std::condition_variable pacing_cv_;
 
+  // Telemetry plane: SLO monitor + drift detector owned here, fed by the
+  // loop thread, read by admin-command handler threads.
+  std::unique_ptr<obs::SloMonitor> slo_;
+  std::unique_ptr<obs::DriftDetector> drift_;
+  // mutable-by-const-accessor: handler threads record through slow_log().
+  std::unique_ptr<SlowQueryLog> slow_log_;
+  WallTimer uptime_timer_;
+
   obs::MetricsRegistry* registry_;
+  obs::Gauge* uptime_gauge_;
   obs::Counter* fresh_queries_counter_;
   obs::Counter* age_queries_counter_;
   obs::Counter* plan_queries_counter_;

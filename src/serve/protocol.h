@@ -3,20 +3,47 @@
 // is a thin transport around HandleRequestLine, so every command is unit
 // testable without a socket.
 //
-// Requests (case-insensitive verb, space-separated):
+// Query commands (case-insensitive verb, space-separated):
 //   ISFRESH <id>   -> {"ok":true,"cmd":"isfresh","id":7,"epoch":42,
 //                      "fresh":true,"p_fresh":0.9713,"elapsed":1.0}
 //   AGE <id>       -> {"ok":true,"cmd":"age","id":7,"epoch":42,
 //                      "expected_age":0.014,"elapsed":1.0}
 //   PLAN <id>      -> {"ok":true,"cmd":"plan","id":7,"epoch":42,
 //                      "frequency":2.0,"interval":0.5,"bandwidth_share":2.0}
-//   STATS          -> {"ok":true,"cmd":"stats","epoch":...,"periods":...,...}
+//   STATS          -> {"ok":true,"cmd":"stats","epoch":...,"periods":...,
+//                      "uptime_seconds":...,"build":{...},...}
 //   PING           -> {"ok":true,"cmd":"ping"}
 //   QUIT           -> {"ok":true,"cmd":"quit"} and the connection closes.
+//
+// Admin telemetry commands:
+//   METRICS [json|prom] -> the full registry snapshot. json (default)
+//                      embeds the exporter's JSON document as the "payload"
+//                      field; prom carries the Prometheus text exposition
+//                      as an escaped string.
+//   HEALTH         -> one-line triage: {"ok":true,"cmd":"health",
+//                      "status":"ok|degraded|critical",...} composed from
+//                      the SLO state, server rejection/overflow counters,
+//                      and flight-recorder drop counts — saturation is
+//                      visible without a metrics scrape.
+//   SLO            -> the SLO monitor's full report (windows, burn rates,
+//                      budget) plus the drift detector's summary and top-k
+//                      offenders.
+//   SLOWLOG        -> retained slow queries, newest first.
+//   WATCH <seconds> [count] -> streaming: the ack line is followed by one
+//                      {"cmd":"watch_sample",...} line every <seconds>
+//                      until <count> samples (0 or absent = unbounded),
+//                      any client input, disconnect, or server stop; a
+//                      final {"cmd":"watch_end",...} line closes the
+//                      stream. The transport implements the pacing (see
+//                      ProtocolResponse::watch_interval_seconds).
 // Anything else   -> {"ok":false,"error":"..."} (connection stays open).
+//
+// Every request is timed into freshen_serve_command_seconds{cmd=...} and,
+// when it crosses the daemon's slow-query threshold, into SLOWLOG.
 #ifndef FRESHEN_SERVE_PROTOCOL_H_
 #define FRESHEN_SERVE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -31,12 +58,22 @@ struct ProtocolResponse {
   std::string line;
   /// True when the client asked to end the connection (QUIT).
   bool close = false;
+  /// When > 0 the response is a WATCH ack: the transport must follow it
+  /// with FormatWatchSample lines at this cadence until watch_count
+  /// samples, client input, disconnect, or server stop.
+  double watch_interval_seconds = 0.0;
+  /// Maximum watch samples (0 = until the client ends the watch).
+  uint64_t watch_count = 0;
 };
 
 /// Parses one request line and answers it from `daemon`'s current snapshot.
 /// Never throws; malformed input produces an {"ok":false,...} response.
 ProtocolResponse HandleRequestLine(const FreshendDaemon& daemon,
                                    std::string_view line);
+
+/// One WATCH stream sample: a single-line JSON object (no newline) with the
+/// live serving/SLO/drift vitals. `seq` is the 1-based sample number.
+std::string FormatWatchSample(const FreshendDaemon& daemon, uint64_t seq);
 
 }  // namespace serve
 }  // namespace freshen

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -16,11 +17,14 @@ namespace freshen {
 namespace serve {
 namespace {
 
-// Writes the whole buffer, riding out EINTR and short writes.
+// Writes the whole buffer, riding out EINTR and short writes. MSG_NOSIGNAL:
+// a client that vanishes mid-response (routine for WATCH streams) must
+// surface as EPIPE here, not as a process-killing SIGPIPE.
 bool WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -87,6 +91,7 @@ LineServer::LineServer(const FreshendDaemon* daemon, Options options,
       registry_->GetCounter("freshen_serve_connections_total");
   rejected_counter_ = registry_->GetCounter("freshen_serve_rejected_total");
   requests_counter_ = registry_->GetCounter("freshen_serve_requests_total");
+  overflow_counter_ = registry_->GetCounter("freshen_serve_overflow_total");
   ThreadPool::Options pool_options;
   pool_options.num_threads = std::max<size_t>(1, options_.num_threads);
   pool_options.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
@@ -165,7 +170,10 @@ void LineServer::ServeConnection(int fd) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or error (including Stop's SHUT_RD).
     buffer.append(chunk, static_cast<size_t>(n));
-    if (buffer.size() > 1 << 16) break;  // Abusive client; drop it.
+    if (buffer.size() > 1 << 16) {
+      overflow_counter_->Increment();  // Abusive client; drop it.
+      break;
+    }
     size_t newline;
     while (open && (newline = buffer.find('\n')) != std::string::npos) {
       const ProtocolResponse response = HandleRequestLine(
@@ -176,10 +184,58 @@ void LineServer::ServeConnection(int fd) {
       out.push_back('\n');
       if (!WriteAll(fd, out.data(), out.size())) open = false;
       if (response.close) open = false;
+      if (open && response.watch_interval_seconds > 0.0) {
+        // Streaming mode: the ack is written, now pace samples until the
+        // client sends anything, disconnects, the count is reached, or
+        // the server stops. Leftover pipelined bytes in `buffer` are
+        // processed after the watch ends.
+        open = RunWatch(fd, response.watch_interval_seconds,
+                        response.watch_count);
+      }
     }
   }
   UntrackFd(fd);
   ::close(fd);
+}
+
+bool LineServer::RunWatch(int fd, double interval_seconds, uint64_t count) {
+  const int timeout_ms =
+      std::max(1, static_cast<int>(interval_seconds * 1000.0));
+  uint64_t seq = 0;
+  bool client_ended = false;
+  while (!stopped_.load(std::memory_order_acquire) &&
+         (count == 0 || seq < count)) {
+    // Sleep one interval, but wake immediately on client input / EOF.
+    // Stop() shuts down the read side of live fds, which also lands here
+    // as a readable EOF — watches never outlive a graceful drain.
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready > 0) {
+      // Any input (or hang-up) ends the watch; the caller's read loop
+      // picks the bytes (or the EOF) up next.
+      client_ended = true;
+      break;
+    }
+    std::string sample = FormatWatchSample(*daemon_, ++seq);
+    sample.push_back('\n');
+    if (!WriteAll(fd, sample.data(), sample.size())) return false;
+  }
+  std::string end = StrFormat(
+      "{\"ok\":true,\"cmd\":\"watch_end\",\"samples\":%llu,"
+      "\"reason\":\"%s\"}",
+      static_cast<unsigned long long>(seq),
+      client_ended ? "client"
+                   : (stopped_.load(std::memory_order_acquire) ? "stopped"
+                                                               : "count"));
+  end.push_back('\n');
+  return WriteAll(fd, end.data(), end.size());
 }
 
 ServerStats LineServer::stats() const {
@@ -187,6 +243,7 @@ ServerStats LineServer::stats() const {
   stats.accepted = static_cast<uint64_t>(connections_counter_->value());
   stats.rejected = static_cast<uint64_t>(rejected_counter_->value());
   stats.requests = static_cast<uint64_t>(requests_counter_->value());
+  stats.overflow = static_cast<uint64_t>(overflow_counter_->value());
   return stats;
 }
 

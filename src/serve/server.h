@@ -40,6 +40,9 @@ struct ServerStats {
   uint64_t rejected = 0;
   /// Request lines answered.
   uint64_t requests = 0;
+  /// Connections dropped for exceeding the per-connection buffer cap
+  /// (abusive clients sending unbounded unterminated data).
+  uint64_t overflow = 0;
 };
 
 /// A newline-protocol server over a local (AF_UNIX) socket.
@@ -87,6 +90,11 @@ class LineServer {
 
   void AcceptLoop();
   void ServeConnection(int fd);
+  // WATCH streaming: writes FormatWatchSample lines every `interval`
+  // seconds until `count` samples (0 = unbounded), any readable client
+  // data, disconnect, or Stop(). Returns false when the connection died
+  // (write failure / hang-up) and the caller should close it.
+  bool RunWatch(int fd, double interval_seconds, uint64_t count);
   // Tracks live connection fds so Stop() can shut down their read sides.
   void TrackFd(int fd);
   void UntrackFd(int fd);
@@ -105,6 +113,7 @@ class LineServer {
   obs::Counter* connections_counter_;
   obs::Counter* rejected_counter_;
   obs::Counter* requests_counter_;
+  obs::Counter* overflow_counter_;
 };
 
 }  // namespace serve

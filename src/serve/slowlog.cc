@@ -1,0 +1,62 @@
+#include "serve/slowlog.h"
+
+#include <algorithm>
+
+namespace freshen {
+namespace serve {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 128;
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
+  options_.capacity = std::max<size_t>(1, options_.capacity);
+  if (options_.threshold_seconds < 0.0) options_.threshold_seconds = 0.0;
+  ring_.reserve(options_.capacity);
+}
+
+bool SlowQueryLog::Record(std::string_view request, std::string_view command,
+                          double seconds, double recorded_at) {
+  if (seconds < options_.threshold_seconds) return false;
+  SlowQueryEntry entry;
+  entry.request = std::string(request.substr(0, kMaxRequestBytes));
+  entry.command = std::string(command);
+  entry.seconds = seconds;
+  entry.recorded_at = recorded_at;
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = ++recorded_;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+    next_ = (next_ + 1) % options_.capacity;
+  }
+  return true;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> entries;
+  entries.reserve(ring_.size());
+  // ring_[next_ - 1] is newest once full; before that the tail is newest.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const size_t index = (next_ + ring_.size() - 1 - i) % ring_.size();
+    entries.push_back(ring_[index]);
+  }
+  return entries;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace serve
+}  // namespace freshen

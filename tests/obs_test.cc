@@ -1,6 +1,8 @@
 // Tests for the freshen::obs subsystem: registry semantics, concurrent
 // updates, span nesting, exporter golden output, and the end-to-end
 // "OnlineFreshenLoop run exports everything operators need" guarantee.
+#include <atomic>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -219,6 +221,73 @@ TEST(ExportTest, PrometheusGolden) {
       "# TYPE freshen_test_temperature gauge\n"
       "freshen_test_temperature 1.5\n";
   EXPECT_EQ(obs::FormatPrometheus(GoldenRegistry().Snapshot()), expected);
+}
+
+// Prometheus exposition conformance for histograms: buckets are cumulative
+// and non-decreasing, and the +Inf bucket equals the series' _count — the
+// invariant scrape pipelines (and recording rules computing quantiles)
+// assume. Known-answer over the golden registry's text output.
+TEST(ExportTest, PrometheusHistogramBucketsConformToExposition) {
+  const std::string text =
+      obs::FormatPrometheus(GoldenRegistry().Snapshot());
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t last_cumulative = 0;
+  uint64_t inf_bucket = 0;
+  uint64_t count_value = 0;
+  bool saw_inf = false;
+  bool saw_count = false;
+  while (std::getline(lines, line)) {
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const uint64_t value = std::strtoull(line.c_str() + space + 1,
+                                         nullptr, 10);
+    if (line.rfind("freshen_test_latency_bucket", 0) == 0) {
+      EXPECT_GE(value, last_cumulative) << "buckets must be cumulative";
+      last_cumulative = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket = value;
+        saw_inf = true;
+      }
+    } else if (line.rfind("freshen_test_latency_count", 0) == 0) {
+      count_value = value;
+      saw_count = true;
+    }
+  }
+  ASSERT_TRUE(saw_inf);
+  ASSERT_TRUE(saw_count);
+  EXPECT_EQ(inf_bucket, count_value);
+}
+
+// The same invariant under a write race: Record() bumps buckets, then the
+// count, then the sum, so a snapshot taken mid-record could once report
+// _count > the +Inf bucket. Snapshot() now derives the count from the
+// copied buckets; hammer it concurrently and verify every sample agrees.
+TEST(MetricsRegistryTest, SnapshotHistogramCountMatchesBucketsUnderRace) {
+  MetricsRegistry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("h", obs::LinearBuckets(0.0, 1.0, 4));
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      uint64_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        histogram->Record(static_cast<double>((i++ + t) % 6));
+      }
+    });
+  }
+  for (int round = 0; round < 2000; ++round) {
+    const obs::RegistrySnapshot snapshot = registry.Snapshot();
+    const obs::MetricSample* sample = snapshot.Find("h");
+    ASSERT_NE(sample, nullptr);
+    uint64_t bucket_total = 0;
+    for (uint64_t c : sample->bucket_counts) bucket_total += c;
+    EXPECT_EQ(sample->count, bucket_total)
+        << "+Inf bucket must equal _count in every snapshot";
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& writer : writers) writer.join();
 }
 
 TEST(ExportTest, CsvGolden) {

@@ -1,9 +1,15 @@
 // Tests for the freshend serving subsystem: epoch-based reclamation,
 // snapshot building with structural sharing, the lock-free snapshot store,
 // the daemon's query API, and the line protocol.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +20,7 @@
 #include "serve/daemon.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/slowlog.h"
 #include "serve/snapshot.h"
 #include "serve/store.h"
 #include "workload/generator.h"
@@ -469,6 +476,378 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
         << "request: \"" << bad << "\" answered: " << response.line;
     EXPECT_FALSE(response.close);
   }
+}
+
+// ---- SlowQueryLog ---------------------------------------------------------
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog log({.capacity = 8, .threshold_seconds = 0.010});
+  EXPECT_FALSE(log.Record("PING", "ping", 0.001, 1.0));
+  EXPECT_TRUE(log.Record("STATS", "stats", 0.050, 2.0));
+  EXPECT_EQ(log.total_recorded(), 1u);
+  const std::vector<SlowQueryEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].command, "stats");
+  EXPECT_DOUBLE_EQ(entries[0].seconds, 0.050);
+}
+
+TEST(SlowQueryLogTest, RingOverwritesOldestAndListsNewestFirst) {
+  SlowQueryLog log({.capacity = 3, .threshold_seconds = 0.0});
+  for (int i = 1; i <= 5; ++i) {
+    log.Record("CMD " + std::to_string(i), "cmd", 0.001 * i, i);
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  const std::vector<SlowQueryEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Newest first: ids 5, 4, 3; 1 and 2 were overwritten.
+  EXPECT_EQ(entries[0].id, 5u);
+  EXPECT_EQ(entries[1].id, 4u);
+  EXPECT_EQ(entries[2].id, 3u);
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  EXPECT_EQ(log.total_recorded(), 5u);  // Totals survive a clear.
+}
+
+TEST(SlowQueryLogTest, TruncatesOversizedRequests) {
+  SlowQueryLog log({.capacity = 2, .threshold_seconds = 0.0});
+  log.Record(std::string(1000, 'x'), "unknown", 0.001, 1.0);
+  const std::vector<SlowQueryEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].request.size(), 128u);
+}
+
+// ---- Admin telemetry protocol --------------------------------------------
+
+TEST(ProtocolTest, MetricsRoundTripsJsonAndProm) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+
+  ProtocolResponse response = HandleRequestLine(*daemon, "METRICS");
+  EXPECT_NE(response.line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"format\":\"json\""), std::string::npos);
+  EXPECT_NE(response.line.find("\"series\":"), std::string::npos);
+  // The embedded payload is the registry's JSON document inlined: it must
+  // carry the build-info gauge and no raw newlines (single-line protocol).
+  EXPECT_NE(response.line.find("\"payload\":{\"metrics\":["),
+            std::string::npos);
+  EXPECT_NE(response.line.find("freshen_build_info"), std::string::npos);
+  EXPECT_EQ(response.line.find('\n'), std::string::npos);
+
+  response = HandleRequestLine(*daemon, "METRICS prom");
+  EXPECT_NE(response.line.find("\"format\":\"prom\""), std::string::npos);
+  // Prometheus text is newline-separated; embedded it must be escaped.
+  EXPECT_NE(response.line.find("\\n"), std::string::npos);
+  EXPECT_EQ(response.line.find('\n'), std::string::npos);
+  EXPECT_NE(response.line.find("# TYPE"), std::string::npos);
+
+  response = HandleRequestLine(*daemon, "METRICS xml");
+  EXPECT_NE(response.line.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ProtocolTest, HealthReportsHealthyDaemon) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  const ProtocolResponse response = HandleRequestLine(*daemon, "HEALTH");
+  EXPECT_NE(response.line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.line.find("\"slo_state\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.line.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(response.line.find("\"rejected_connections\":0"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"overflow_disconnects\":0"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"recorder_dropped\":"), std::string::npos);
+  EXPECT_NE(response.line.find("\"drift_replan_recommended\":false"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, HealthDegradesOnSaturationCounters) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  registry.GetCounter("freshen_serve_rejected_total")->Increment();
+  const ProtocolResponse response = HandleRequestLine(*daemon, "HEALTH");
+  EXPECT_NE(response.line.find("\"status\":\"degraded\""),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, SloReportsStateWindowsAndDrift) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  const ProtocolResponse response = HandleRequestLine(*daemon, "SLO");
+  EXPECT_NE(response.line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"state\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.line.find("\"objective\":"), std::string::npos);
+  EXPECT_NE(response.line.find("\"fast\":{\"window_periods\":"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"slow\":{\"window_periods\":"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"budget_remaining\":"), std::string::npos);
+  // Drift detection is on by default, so the report embeds its state.
+  EXPECT_NE(response.line.find("\"drift\":{\"aggregate_score\":"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, SloErrorsWhenMonitorDisabled) {
+  obs::MetricsRegistry registry;
+  auto options = DaemonOptions(&registry);
+  options.enable_slo = false;
+  options.enable_drift = false;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, options).value();
+  const ProtocolResponse response = HandleRequestLine(*daemon, "SLO");
+  EXPECT_NE(response.line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(response.line.find("not enabled"), std::string::npos);
+  // HEALTH still answers, with the SLO fields nulled out.
+  const ProtocolResponse health = HandleRequestLine(*daemon, "HEALTH");
+  EXPECT_NE(health.line.find("\"slo_state\":null"), std::string::npos);
+  EXPECT_NE(health.line.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ProtocolTest, SlowlogCapturesCommandsNewestFirst) {
+  obs::MetricsRegistry registry;
+  auto options = DaemonOptions(&registry);
+  options.slowlog.threshold_seconds = 0.0;  // Log every command.
+  options.slowlog.capacity = 4;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, options).value();
+  HandleRequestLine(*daemon, "PING");
+  HandleRequestLine(*daemon, "ISFRESH 3");
+  const ProtocolResponse response = HandleRequestLine(*daemon, "SLOWLOG");
+  EXPECT_NE(response.line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"threshold_seconds\":0"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"capacity\":4"), std::string::npos);
+  // Newest first: the most recent entry before SLOWLOG is ISFRESH.
+  const size_t isfresh = response.line.find("\"request\":\"ISFRESH 3\"");
+  const size_t ping = response.line.find("\"request\":\"PING\"");
+  EXPECT_NE(isfresh, std::string::npos);
+  EXPECT_NE(ping, std::string::npos);
+  EXPECT_LT(isfresh, ping);
+  // The SLOWLOG command itself was recorded too (after answering).
+  EXPECT_GE(daemon->slow_log()->total_recorded(), 3u);
+}
+
+TEST(ProtocolTest, WatchAcksValidRequestsAndRejectsMalformed) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  ProtocolResponse response = HandleRequestLine(*daemon, "WATCH 0.5 3");
+  EXPECT_NE(response.line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.line.find("\"interval_seconds\":0.5"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"count\":3"), std::string::npos);
+  EXPECT_DOUBLE_EQ(response.watch_interval_seconds, 0.5);
+  EXPECT_EQ(response.watch_count, 3u);
+  EXPECT_FALSE(response.close);
+
+  response = HandleRequestLine(*daemon, "WATCH 2");
+  EXPECT_DOUBLE_EQ(response.watch_interval_seconds, 2.0);
+  EXPECT_EQ(response.watch_count, 0u);  // Unbounded.
+
+  for (const char* bad : {"WATCH", "WATCH abc", "WATCH 0", "WATCH 1e9",
+                          "WATCH 0.5 x", "WATCH 0.5 -1", "WATCH 1 2 3"}) {
+    response = HandleRequestLine(*daemon, bad);
+    EXPECT_NE(response.line.find("\"ok\":false"), std::string::npos)
+        << "request: " << bad << " answered: " << response.line;
+    EXPECT_DOUBLE_EQ(response.watch_interval_seconds, 0.0)
+        << "request: " << bad;
+  }
+}
+
+TEST(ProtocolTest, StatsCarriesUptimeAndBuildInfo) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  const ProtocolResponse response = HandleRequestLine(*daemon, "STATS");
+  EXPECT_NE(response.line.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(response.line.find("\"build\":{\"version\":"),
+            std::string::npos);
+  EXPECT_NE(response.line.find("\"cxx_standard\":"), std::string::npos);
+}
+
+TEST(ProtocolTest, CommandLatencyHistogramPoolsUnknownVerbs) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  HandleRequestLine(*daemon, "PING");
+  HandleRequestLine(*daemon, "FROB 1");
+  HandleRequestLine(*daemon, "XYZZY");
+  const size_t size_after_two_unknowns = registry.size();
+  HandleRequestLine(*daemon, "ANOTHER_INVENTED_VERB");
+  // Invented verbs pool under cmd="unknown": the registry must not grow.
+  EXPECT_EQ(registry.size(), size_after_two_unknowns);
+  EXPECT_EQ(registry
+                .GetHistogram("freshen_serve_command_seconds",
+                              obs::LatencySecondsBuckets(),
+                              {{"cmd", "unknown"}})
+                ->count(),
+            3u);
+  EXPECT_EQ(registry
+                .GetHistogram("freshen_serve_command_seconds",
+                              obs::LatencySecondsBuckets(), {{"cmd", "ping"}})
+                ->count(),
+            1u);
+}
+
+TEST(ProtocolTest, FormatWatchSampleIsOneJsonLine) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  const std::string sample = FormatWatchSample(*daemon, 7);
+  EXPECT_NE(sample.find("\"cmd\":\"watch_sample\""), std::string::npos);
+  EXPECT_NE(sample.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(sample.find("\"slo_state\":\"ok\""), std::string::npos);
+  EXPECT_NE(sample.find("\"drift_score\":"), std::string::npos);
+  EXPECT_EQ(sample.find('\n'), std::string::npos);
+}
+
+// ---- WATCH over a live socket --------------------------------------------
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteLine(int fd, const std::string& line) {
+  std::string out = line + "\n";
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadLine(int fd, std::string* line) {
+  line->clear();
+  char ch;
+  for (;;) {
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    if (ch == '\n') return true;
+    line->push_back(ch);
+  }
+}
+
+TEST(LineServerTest, WatchStreamsCountSamplesThenEnds) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  LineServer::Options options;
+  options.socket_path = testing::TempDir() + "serve_test_watch.sock";
+  options.registry = &registry;
+  auto server = LineServer::Start(daemon.get(), options).value();
+
+  const int client = ConnectUnix(options.socket_path);
+  ASSERT_GE(client, 0);
+  ASSERT_TRUE(WriteLine(client, "WATCH 0.01 3"));
+  std::string line;
+  ASSERT_TRUE(ReadLine(client, &line));  // The ack.
+  EXPECT_NE(line.find("\"cmd\":\"watch\""), std::string::npos);
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(ReadLine(client, &line)) << "sample " << seq;
+    EXPECT_NE(line.find("\"cmd\":\"watch_sample\""), std::string::npos);
+    EXPECT_NE(line.find("\"seq\":" + std::to_string(seq)),
+              std::string::npos);
+  }
+  ASSERT_TRUE(ReadLine(client, &line));
+  EXPECT_NE(line.find("\"cmd\":\"watch_end\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"count\""), std::string::npos);
+
+  // The stream ended cleanly: the same connection answers again.
+  ASSERT_TRUE(WriteLine(client, "PING"));
+  ASSERT_TRUE(ReadLine(client, &line));
+  EXPECT_NE(line.find("\"cmd\":\"ping\""), std::string::npos);
+  WriteLine(client, "QUIT");
+  ::close(client);
+  server->Stop();
+}
+
+TEST(LineServerTest, WatchAnyClientInputEndsTheStream) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  LineServer::Options options;
+  options.socket_path = testing::TempDir() + "serve_test_watch_stop.sock";
+  options.registry = &registry;
+  auto server = LineServer::Start(daemon.get(), options).value();
+
+  const int client = ConnectUnix(options.socket_path);
+  ASSERT_GE(client, 0);
+  ASSERT_TRUE(WriteLine(client, "WATCH 60"));  // Unbounded, slow cadence.
+  std::string line;
+  ASSERT_TRUE(ReadLine(client, &line));  // Ack.
+  // Client-side cancel: any input ends the stream with reason "client",
+  // and the pipelined request is answered afterwards.
+  ASSERT_TRUE(WriteLine(client, "PING"));
+  ASSERT_TRUE(ReadLine(client, &line));
+  EXPECT_NE(line.find("\"cmd\":\"watch_end\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"client\""), std::string::npos);
+  ASSERT_TRUE(ReadLine(client, &line));
+  EXPECT_NE(line.find("\"cmd\":\"ping\""), std::string::npos);
+  WriteLine(client, "QUIT");
+  ::close(client);
+  server->Stop();
+}
+
+TEST(LineServerTest, WatchClientDisconnectLeavesServerHealthy) {
+  obs::MetricsRegistry registry;
+  auto daemon =
+      FreshendDaemon::Create(TestCatalog(20), 5.0, DaemonOptions(&registry))
+          .value();
+  LineServer::Options options;
+  options.socket_path = testing::TempDir() + "serve_test_watch_drop.sock";
+  options.registry = &registry;
+  auto server = LineServer::Start(daemon.get(), options).value();
+
+  const int client = ConnectUnix(options.socket_path);
+  ASSERT_GE(client, 0);
+  ASSERT_TRUE(WriteLine(client, "WATCH 0.01"));  // Unbounded stream.
+  std::string line;
+  ASSERT_TRUE(ReadLine(client, &line));  // Ack.
+  ASSERT_TRUE(ReadLine(client, &line));  // At least one sample arrives.
+  EXPECT_NE(line.find("\"cmd\":\"watch_sample\""), std::string::npos);
+  ::close(client);  // Vanish mid-stream.
+
+  // The server must shrug it off and keep serving new connections.
+  const int second = ConnectUnix(options.socket_path);
+  ASSERT_GE(second, 0);
+  ASSERT_TRUE(WriteLine(second, "HEALTH"));
+  ASSERT_TRUE(ReadLine(second, &line));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  WriteLine(second, "QUIT");
+  ::close(second);
+  server->Stop();
+  EXPECT_GE(server->stats().accepted, 2u);
 }
 
 // ---- LineServer shutdown ordering ----------------------------------------

@@ -1,0 +1,496 @@
+// Tests for the live telemetry plane: the sliding-window freshness SLO
+// monitor (obs/slo.h), the estimator drift detector (obs/drift.h), and
+// their wiring into OnlineFreshenLoop (drift-forced early replans). All
+// period clocks here are virtual — the tests drive ObservePeriod/EndPeriod
+// directly, so every state transition is deterministic.
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mirror/online_loop.h"
+#include "model/element.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace freshen {
+namespace {
+
+using obs::DriftDetector;
+using obs::DriftReport;
+using obs::SloMonitor;
+using obs::SloReport;
+using obs::SloState;
+
+// ---- SloMonitor -----------------------------------------------------------
+
+SloMonitor::Options TightSloOptions(obs::MetricsRegistry* registry) {
+  SloMonitor::Options options;
+  options.objective = 0.9;  // Error budget 0.1.
+  options.fast_window_periods = 2.0;
+  options.slow_window_periods = 4.0;
+  options.warn_burn_rate = 2.0;
+  options.page_burn_rate = 8.0;
+  options.registry = registry;
+  return options;
+}
+
+TEST(SloMonitorTest, CreateValidatesOptions) {
+  obs::MetricsRegistry registry;
+  auto options = TightSloOptions(&registry);
+  EXPECT_TRUE(SloMonitor::Create(options).ok());
+
+  auto bad = options;
+  bad.objective = 1.0;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.objective = 0.0;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.age_slo = -1.0;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.fast_window_periods = 0.5;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.slow_window_periods = bad.fast_window_periods;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.slow_window_periods = 1e9;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.warn_burn_rate = 0.0;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+  bad = options;
+  bad.page_burn_rate = 0.5 * bad.warn_burn_rate;
+  EXPECT_FALSE(SloMonitor::Create(bad).ok());
+}
+
+// The acceptance drill in unit form: a healthy stream, then a burst outage
+// (all accesses bad), then recovery — ok -> burning -> alert -> burning ->
+// ok, with every transition counted.
+TEST(SloMonitorTest, BurstOutageWalksOkBurningAlertAndBack) {
+  obs::MetricsRegistry registry;
+  auto monitor = SloMonitor::Create(TightSloOptions(&registry)).value();
+
+  // Four perfect periods: state ok, no transitions.
+  for (int t = 1; t <= 4; ++t) {
+    monitor.ObservePeriod(static_cast<double>(t), 100, 100, 100);
+  }
+  EXPECT_EQ(monitor.state(), SloState::kOk);
+  EXPECT_EQ(monitor.Report().transitions, 0u);
+
+  // Outage period 5: fast window bad ratio 100/200 = 0.5, burn 5 >= warn 2
+  // but < page 8 -> burning.
+  monitor.ObservePeriod(5.0, 100, 0, 0);
+  EXPECT_EQ(monitor.state(), SloState::kBurning);
+  SloReport report = monitor.Report();
+  EXPECT_EQ(report.transitions, 1u);
+  EXPECT_DOUBLE_EQ(report.last_transition_time, 5.0);
+  EXPECT_DOUBLE_EQ(report.fast.bad_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(report.fast.burn_rate, 5.0);
+
+  // Outage period 6: fast burn 10 >= page AND slow burn (200/400 bad) 5 >=
+  // warn -> alert.
+  monitor.ObservePeriod(6.0, 100, 0, 0);
+  EXPECT_EQ(monitor.state(), SloState::kAlert);
+  report = monitor.Report();
+  EXPECT_EQ(report.transitions, 2u);
+  EXPECT_DOUBLE_EQ(report.fast.burn_rate, 10.0);
+  EXPECT_DOUBLE_EQ(report.slow.burn_rate, 5.0);
+  EXPECT_DOUBLE_EQ(report.budget_remaining, 0.0);
+
+  // Recovery period 7: fast window still holds one outage period -> burn 5
+  // -> back to burning (alert de-escalates as soon as paging burn clears).
+  monitor.ObservePeriod(7.0, 100, 100, 100);
+  EXPECT_EQ(monitor.state(), SloState::kBurning);
+  EXPECT_EQ(monitor.Report().transitions, 3u);
+
+  // Recovery period 8: fast window all good -> ok.
+  monitor.ObservePeriod(8.0, 100, 100, 100);
+  EXPECT_EQ(monitor.state(), SloState::kOk);
+  report = monitor.Report();
+  EXPECT_EQ(report.transitions, 4u);
+  EXPECT_DOUBLE_EQ(report.last_transition_time, 8.0);
+
+  // Whole-run totals: 8 periods, 2 fully bad.
+  EXPECT_EQ(report.total_accesses, 800u);
+  EXPECT_EQ(report.total_good, 600u);
+  EXPECT_DOUBLE_EQ(report.overall_good_ratio, 0.75);
+
+  // The same walk through the registry's eyes.
+  EXPECT_DOUBLE_EQ(registry.GetGauge("freshen_slo_state")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("freshen_slo_transitions", {{"to", "alert"}})
+          ->value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("freshen_slo_transitions", {{"to", "burning"}})
+          ->value(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("freshen_slo_transitions", {{"to", "ok"}})->value(),
+      1.0);
+}
+
+TEST(SloMonitorTest, WindowsShorterThanHistoryCountOnlySeenPeriods) {
+  obs::MetricsRegistry registry;
+  auto monitor = SloMonitor::Create(TightSloOptions(&registry)).value();
+  monitor.ObservePeriod(1.0, 50, 40, 45);
+  const SloReport report = monitor.Report();
+  EXPECT_EQ(report.fast.periods, 1u);
+  EXPECT_EQ(report.slow.periods, 1u);
+  EXPECT_EQ(report.slow.accesses, 50u);
+  EXPECT_DOUBLE_EQ(report.slow.bad_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(report.now, 1.0);
+}
+
+TEST(SloMonitorTest, AgeSloModeCountsAgeGoodAccesses) {
+  obs::MetricsRegistry registry;
+  auto options = TightSloOptions(&registry);
+  options.good_is_age_slo = true;
+  options.age_slo = 0.5;
+  auto monitor = SloMonitor::Create(options).value();
+  EXPECT_DOUBLE_EQ(monitor.age_slo(), 0.5);
+  // 0 strictly fresh, but all within the age SLO: a perfect period.
+  monitor.ObservePeriod(1.0, 100, 0, 100);
+  monitor.ObservePeriod(2.0, 100, 0, 100);
+  EXPECT_EQ(monitor.state(), SloState::kOk);
+  const SloReport report = monitor.Report();
+  EXPECT_EQ(report.total_good, 200u);
+  EXPECT_TRUE(report.good_is_age_slo);
+}
+
+TEST(SloMonitorTest, GoodCountsAreClampedToAccesses) {
+  obs::MetricsRegistry registry;
+  auto monitor = SloMonitor::Create(TightSloOptions(&registry)).value();
+  monitor.ObservePeriod(1.0, 10, 999, 999);  // Feeder bug: clamp, not UB.
+  const SloReport report = monitor.Report();
+  EXPECT_EQ(report.total_good, 10u);
+  EXPECT_DOUBLE_EQ(report.fast.bad_ratio, 0.0);
+}
+
+TEST(SloMonitorTest, EmptyMonitorReportsHealthyDefaults) {
+  obs::MetricsRegistry registry;
+  auto monitor = SloMonitor::Create(TightSloOptions(&registry)).value();
+  const SloReport report = monitor.Report();
+  EXPECT_EQ(report.state, SloState::kOk);
+  EXPECT_EQ(report.fast.periods, 0u);
+  EXPECT_DOUBLE_EQ(report.overall_good_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.budget_remaining, 1.0);
+}
+
+TEST(SloStateNameTest, CoversAllStates) {
+  EXPECT_STREQ(obs::SloStateName(SloState::kOk), "ok");
+  EXPECT_STREQ(obs::SloStateName(SloState::kBurning), "burning");
+  EXPECT_STREQ(obs::SloStateName(SloState::kAlert), "alert");
+}
+
+// Readers hammer Report()/state() while the writer streams periods; every
+// sampled report must be internally coherent. Run under `ctest -L tsan` in
+// a FRESHEN_SANITIZE=thread build.
+TEST(SloMonitorTest, ConcurrentReadersSeeCoherentReports) {
+  obs::MetricsRegistry registry;
+  auto options = TightSloOptions(&registry);
+  auto monitor = SloMonitor::Create(options).value();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const SloReport report = monitor.Report();
+        const bool ok =
+            report.fast.good <= report.fast.accesses &&
+            report.slow.good <= report.slow.accesses &&
+            report.fast.periods <= 2 && report.slow.periods <= 4 &&
+            report.total_good <= report.total_accesses &&
+            report.budget_remaining >= 0.0 &&
+            report.budget_remaining <= 1.0 &&
+            static_cast<uint8_t>(report.state) <= 2;
+        if (!ok) violations.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 1; t <= 5000; ++t) {
+    // Alternate good and bad periods so state churns constantly.
+    const uint64_t fresh = (t % 3 == 0) ? 0 : 100;
+    monitor.ObservePeriod(static_cast<double>(t), 100, fresh, fresh);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+// ---- DriftDetector --------------------------------------------------------
+
+DriftDetector::Options SmallDriftOptions(size_t n,
+                                         obs::MetricsRegistry* registry) {
+  DriftDetector::Options options;
+  options.num_elements = n;
+  options.min_evidence = 3.0;
+  options.top_k = 4;
+  options.registry = registry;
+  return options;
+}
+
+TEST(DriftDetectorTest, CreateValidatesOptions) {
+  obs::MetricsRegistry registry;
+  auto options = SmallDriftOptions(8, &registry);
+  EXPECT_TRUE(DriftDetector::Create(options).ok());
+
+  auto bad = options;
+  bad.num_elements = 0;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.decay = 0.0;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.decay = 1.5;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.min_evidence = 0.5;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.top_k = 0;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.flag_threshold = 0.0;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.replan_consecutive_periods = 0;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+  bad = options;
+  bad.rate_floor = 0.0;
+  EXPECT_FALSE(DriftDetector::Create(bad).ok());
+}
+
+// Feed evidence exactly consistent with the planned rate: with 10 polls at
+// gap 0.5 and 4 detected changes, the bias-reduced estimate is
+// -ln(0.6)/0.5 = 1.0217 against planned 1.0 — a near-zero score, no flags.
+TEST(DriftDetectorTest, MatchedRatesScoreNearZero) {
+  obs::MetricsRegistry registry;
+  auto detector = DriftDetector::Create(SmallDriftOptions(4, &registry))
+                      .value();
+  for (size_t element = 0; element < 4; ++element) {
+    for (int poll = 0; poll < 10; ++poll) {
+      detector.ObserveSync(element, /*changed=*/poll < 4, /*gap=*/0.5);
+    }
+  }
+  detector.EndPeriod(1.0, std::vector<double>(4, 1.0));
+  const DriftReport report = detector.Report();
+  EXPECT_EQ(report.scored_elements, 4u);
+  EXPECT_EQ(report.flagged_elements, 0u);
+  EXPECT_LT(report.aggregate_score, 0.1);
+  EXPECT_FALSE(report.replan_recommended);
+  EXPECT_DOUBLE_EQ(report.now, 1.0);
+  ASSERT_EQ(report.top.size(), 4u);
+  EXPECT_NEAR(report.top[0].observed_rate, -std::log(0.6) / 0.5, 1e-12);
+}
+
+// The acceptance scenario: most elements behave as planned, two shifted to
+// a much hotter rate. The shifted pair must top the offender list, be
+// flagged, and carry observed >> planned.
+TEST(DriftDetectorTest, LambdaShiftPutsShiftedElementsInTopK) {
+  obs::MetricsRegistry registry;
+  auto detector = DriftDetector::Create(SmallDriftOptions(10, &registry))
+                      .value();
+  for (size_t element = 0; element < 10; ++element) {
+    const bool shifted = element == 3 || element == 7;
+    for (int poll = 0; poll < 10; ++poll) {
+      // Shifted elements change on every poll; matched ones at the planned
+      // 40% detection ratio.
+      detector.ObserveSync(element, shifted || poll < 4, 0.5);
+    }
+  }
+  detector.EndPeriod(1.0, std::vector<double>(10, 1.0));
+  const DriftReport report = detector.Report();
+  EXPECT_EQ(report.scored_elements, 10u);
+  EXPECT_EQ(report.flagged_elements, 2u);
+  ASSERT_GE(report.top.size(), 2u);
+  const bool top_pair_is_shifted =
+      (report.top[0].element == 3 && report.top[1].element == 7) ||
+      (report.top[0].element == 7 && report.top[1].element == 3);
+  EXPECT_TRUE(top_pair_is_shifted)
+      << "top offenders: " << report.top[0].element << ", "
+      << report.top[1].element;
+  EXPECT_GT(report.top[0].observed_rate, 10.0 * report.top[0].planned_rate);
+  EXPECT_GE(report.top[0].score, report.top[1].score);
+  EXPECT_GT(report.max_score, detector.options().flag_threshold);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("freshen_drift_flagged_elements")->value(), 2.0);
+}
+
+// Sustained aggregate drift arms the recommendation only after the
+// configured number of consecutive periods, and AcknowledgeReplan clears
+// it and counts the triggered replan.
+TEST(DriftDetectorTest, RecommendationDebouncesAndAcknowledges) {
+  obs::MetricsRegistry registry;
+  auto options = SmallDriftOptions(2, &registry);
+  options.decay = 1.0;  // Keep the evidence hot across periods.
+  options.replan_consecutive_periods = 2;
+  auto detector = DriftDetector::Create(options).value();
+  const std::vector<double> planned(2, 1e-3);  // Everything looks shifted.
+
+  const auto feed = [&detector] {
+    for (size_t element = 0; element < 2; ++element) {
+      for (int poll = 0; poll < 5; ++poll) {
+        detector.ObserveSync(element, true, 0.5);
+      }
+    }
+  };
+
+  feed();
+  detector.EndPeriod(1.0, planned);
+  EXPECT_FALSE(detector.replan_recommended());  // 1 of 2 periods above.
+  EXPECT_EQ(detector.Report().periods_above_threshold, 1u);
+
+  feed();
+  detector.EndPeriod(2.0, planned);
+  EXPECT_TRUE(detector.replan_recommended());
+  EXPECT_TRUE(detector.Report().replan_recommended);
+
+  detector.AcknowledgeReplan();
+  EXPECT_FALSE(detector.replan_recommended());
+  const DriftReport report = detector.Report();
+  EXPECT_EQ(report.replans_triggered, 1u);
+  EXPECT_EQ(report.periods_above_threshold, 0u);
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("freshen_drift_replans_triggered")->value(), 1.0);
+
+  // A calm period resets the debounce entirely.
+  feed();
+  detector.EndPeriod(3.0, std::vector<double>{13.86, 13.86});
+  EXPECT_FALSE(detector.replan_recommended());
+  EXPECT_EQ(detector.Report().periods_above_threshold, 0u);
+}
+
+TEST(DriftDetectorTest, IgnoresBadObservationsAndThinEvidence) {
+  obs::MetricsRegistry registry;
+  auto detector = DriftDetector::Create(SmallDriftOptions(4, &registry))
+                      .value();
+  detector.ObserveSync(99, true, 0.5);   // Out of range: dropped.
+  detector.ObserveSync(0, true, 0.0);    // Non-positive gap: dropped.
+  detector.ObserveSync(0, true, -1.0);   // Negative gap: dropped.
+  detector.ObserveSync(0, true, 0.5);    // 1 poll < min_evidence 3.
+  detector.ObserveSync(1, true, 0.5);
+  detector.ObserveSync(1, true, 0.5);
+  detector.EndPeriod(1.0, std::vector<double>(4, 1.0));
+  const DriftReport report = detector.Report();
+  EXPECT_EQ(report.scored_elements, 0u);
+  EXPECT_TRUE(report.top.empty());
+  EXPECT_DOUBLE_EQ(report.aggregate_score, 0.0);
+}
+
+TEST(DriftDetectorTest, EvidenceDecaysBelowScoringThreshold) {
+  obs::MetricsRegistry registry;
+  auto options = SmallDriftOptions(1, &registry);
+  options.decay = 0.5;
+  auto detector = DriftDetector::Create(options).value();
+  for (int poll = 0; poll < 4; ++poll) {
+    detector.ObserveSync(0, true, 0.5);
+  }
+  detector.EndPeriod(1.0, {1.0});
+  EXPECT_EQ(detector.Report().scored_elements, 1u);
+  // No new syncs: 4 -> 2 -> 1 effective polls; below min_evidence 3 the
+  // element stops being scored.
+  detector.EndPeriod(2.0, {1.0});
+  EXPECT_EQ(detector.Report().scored_elements, 0u);
+}
+
+// ---- OnlineFreshenLoop wiring --------------------------------------------
+
+ElementSet UniformHotCatalog(size_t n, double change_rate) {
+  std::vector<double> rates(n, change_rate);
+  std::vector<double> probs(n, 1.0 / static_cast<double>(n));
+  return MakeElementSet(rates, probs);
+}
+
+// The loop feeds the SLO monitor one sample per period boundary.
+TEST(LoopTelemetryTest, SloMonitorReceivesEveryPeriod) {
+  obs::MetricsRegistry registry;
+  auto monitor = SloMonitor::Create(TightSloOptions(&registry)).value();
+
+  OnlineFreshenLoop::Options options;
+  options.accesses_per_period = 200.0;
+  options.seed = 42;
+  options.registry = &registry;
+  options.slo = &monitor;
+  auto loop = OnlineFreshenLoop::Create(UniformHotCatalog(16, 1.0), 8.0,
+                                        options)
+                  .value();
+  for (int period = 0; period < 3; ++period) loop.RunPeriod();
+
+  const SloReport report = monitor.Report();
+  EXPECT_DOUBLE_EQ(report.now, 3.0);
+  EXPECT_EQ(report.fast.periods, 2u);
+  EXPECT_EQ(report.slow.periods, 3u);
+  EXPECT_GT(report.total_accesses, 0u);
+  EXPECT_LE(report.total_good, report.total_accesses);
+}
+
+// A sustained true-rate shift against a stale plan must arm the detector
+// and — with drift_replan on — force an early replan long before the
+// controller's own cadence (1000 periods here). The control loop with
+// drift_replan off sees the same drift but keeps the stale plan.
+TEST(LoopTelemetryTest, DriftReplanForcesEarlyReplanOnLambdaShift) {
+  const size_t n = 32;
+  // Truth: hot elements (rate 4); the controller believes 0.01 and, with a
+  // 1000-period cadence, would never correct on its own.
+  const ElementSet truth = UniformHotCatalog(n, 4.0);
+
+  const auto make_loop = [&](obs::MetricsRegistry* registry,
+                             DriftDetector* detector, bool drift_replan) {
+    OnlineFreshenLoop::Options options;
+    options.controller.replan_every_periods = 1000.0;
+    options.controller.prior_change_rate = 0.01;
+    options.accesses_per_period = 100.0;
+    options.seed = 7;
+    options.registry = registry;
+    options.drift = detector;
+    options.drift_replan = drift_replan;
+    // Bandwidth 2N: every element syncs ~2x per period, plenty of polls.
+    return OnlineFreshenLoop::Create(truth, 2.0 * n, options).value();
+  };
+
+  obs::MetricsRegistry acting_registry;
+  DriftDetector::Options drift_options;
+  drift_options.num_elements = n;
+  drift_options.min_evidence = 2.0;
+  drift_options.replan_consecutive_periods = 2;
+  drift_options.registry = &acting_registry;
+  auto detector = DriftDetector::Create(drift_options).value();
+  auto loop = make_loop(&acting_registry, &detector, /*drift_replan=*/true);
+
+  EXPECT_EQ(loop.controller().num_replans(), 1u);  // Cold-start plan only.
+  bool replanned = false;
+  for (int period = 0; period < 6 && !replanned; ++period) {
+    replanned = loop.RunPeriod().replanned;
+  }
+  EXPECT_TRUE(replanned);
+  EXPECT_GT(loop.controller().num_replans(), 1u);
+  EXPECT_GE(detector.Report().replans_triggered, 1u);
+  // The forced replan resolved against fresh beliefs: the planned rates
+  // moved off the 0.01 prior.
+  EXPECT_GT(loop.controller().PlannedChangeRates()[0], 0.1);
+
+  // Control: same drift, no authority to act. The plan stays cold.
+  obs::MetricsRegistry passive_registry;
+  drift_options.registry = &passive_registry;
+  auto passive_detector = DriftDetector::Create(drift_options).value();
+  auto passive_loop =
+      make_loop(&passive_registry, &passive_detector, /*drift_replan=*/false);
+  for (int period = 0; period < 6; ++period) {
+    EXPECT_FALSE(passive_loop.RunPeriod().replanned);
+  }
+  EXPECT_EQ(passive_loop.controller().num_replans(), 1u);
+  EXPECT_TRUE(passive_detector.replan_recommended());
+  EXPECT_DOUBLE_EQ(passive_loop.controller().PlannedChangeRates()[0], 0.01);
+}
+
+}  // namespace
+}  // namespace freshen
